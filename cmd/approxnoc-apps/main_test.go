@@ -1,0 +1,28 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunAppsSingleKernel(t *testing.T) {
+	var buf bytes.Buffer
+	if err := runApps("blackscholes", "FP-VAXX", 10, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "blackscholes") || !strings.Contains(out, "FP-VAXX") {
+		t.Fatalf("output:\n%s", out)
+	}
+}
+
+func TestRunAppsRejectsBadInputs(t *testing.T) {
+	var buf bytes.Buffer
+	if err := runApps("doom", "FP-VAXX", 10, &buf); err == nil {
+		t.Fatal("unknown kernel accepted")
+	}
+	if err := runApps("ssca2", "NOPE", 10, &buf); err == nil {
+		t.Fatal("unknown scheme accepted")
+	}
+}

@@ -1,0 +1,192 @@
+// Command approxnoc-bench regenerates the tables and figures of the
+// APPROX-NoC paper's evaluation (§5). Each experiment id maps to one
+// artifact; see DESIGN.md's experiment index.
+//
+// Usage:
+//
+//	approxnoc-bench -exp fig9 [-cycles 100000] [-threshold 10] [-ratio 0.75]
+//	approxnoc-bench -exp all
+//	approxnoc-bench -list
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"approxnoc/internal/compress"
+	"approxnoc/internal/experiments"
+)
+
+var experimentOrder = []string{
+	"table1", "fig9", "fig10a", "fig10b", "fig11", "fig12",
+	"fig13", "fig14", "fig15", "fig16", "fig17", "area",
+	"ablation-overlap", "ablation-pmt", "ablation-window", "ablation-adaptive",
+	"extension-bdi", "ablation-matchunits", "ablation-router", "fig16-measured",
+}
+
+func main() {
+	exp := flag.String("exp", "", "experiment id (see -list), or 'all'")
+	list := flag.Bool("list", false, "list experiment ids")
+	cycles := flag.Int("cycles", 50000, "injection cycles per trace replay")
+	threshold := flag.Int("threshold", 10, "VAXX error threshold (%)")
+	ratio := flag.Float64("ratio", 0.75, "approximable data packet ratio")
+	seed := flag.Uint64("seed", 1, "simulation seed")
+	asJSON := flag.Bool("json", false, "emit rows as JSON instead of tables")
+	flag.Parse()
+
+	if *list {
+		fmt.Println(strings.Join(experimentOrder, "\n"))
+		return
+	}
+	if *exp == "" {
+		fmt.Fprintln(os.Stderr, "approxnoc-bench: -exp required (try -list)")
+		os.Exit(2)
+	}
+
+	cfg := experiments.Default()
+	cfg.Cycles = *cycles
+	cfg.ErrorThreshold = *threshold
+	cfg.ApproxRatio = *ratio
+	cfg.Seed = *seed
+
+	ids := []string{*exp}
+	if *exp == "all" {
+		ids = experimentOrder
+	}
+	for _, id := range ids {
+		rows, out, err := run(id, cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "approxnoc-bench: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		if *asJSON {
+			enc, err := json.MarshalIndent(map[string]any{"experiment": id, "rows": rows}, "", "  ")
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "approxnoc-bench: %s: %v\n", id, err)
+				os.Exit(1)
+			}
+			fmt.Println(string(enc))
+			continue
+		}
+		fmt.Println(out)
+	}
+}
+
+func run(id string, cfg experiments.Config) (any, string, error) {
+	switch id {
+	case "table1":
+		t := experiments.Table1(cfg)
+		return t, t, nil
+	case "fig9":
+		rows, err := experiments.Fig9(cfg)
+		if err != nil {
+			return nil, "", err
+		}
+		return rows, experiments.FormatFig9(rows), nil
+	case "fig10a", "fig10b", "fig10":
+		rows, err := experiments.Fig10(cfg)
+		if err != nil {
+			return nil, "", err
+		}
+		return rows, experiments.FormatFig10(rows), nil
+	case "fig11":
+		rows, err := experiments.Fig11(cfg)
+		if err != nil {
+			return nil, "", err
+		}
+		return rows, experiments.FormatFig11(rows), nil
+	case "fig12":
+		pts, err := experiments.Fig12(cfg, nil, nil)
+		if err != nil {
+			return nil, "", err
+		}
+		return pts, experiments.FormatFig12(pts), nil
+	case "fig13":
+		rows, err := experiments.Fig13(cfg, nil)
+		if err != nil {
+			return nil, "", err
+		}
+		return rows, experiments.FormatFig13(rows, nil), nil
+	case "fig14":
+		rows, err := experiments.Fig14(cfg, nil)
+		if err != nil {
+			return nil, "", err
+		}
+		return rows, experiments.FormatFig14(rows, nil), nil
+	case "fig15":
+		rows, err := experiments.Fig15(cfg)
+		if err != nil {
+			return nil, "", err
+		}
+		return rows, experiments.FormatFig15(rows), nil
+	case "fig16":
+		rows, err := experiments.Fig16(cfg, nil)
+		if err != nil {
+			return nil, "", err
+		}
+		return rows, experiments.FormatFig16(rows, nil), nil
+	case "fig16-measured":
+		rows, err := experiments.Fig16Measured(nil, nil)
+		if err != nil {
+			return nil, "", err
+		}
+		return rows, "Fig. 16 (measured through the cycle-accurate NoC)\n" +
+			experiments.FormatFig16(rows, nil), nil
+	case "fig17":
+		r, err := experiments.Fig17(compress.FPVaxx, cfg.ErrorThreshold)
+		if err != nil {
+			return nil, "", err
+		}
+		return r, experiments.FormatFig17(r), nil
+	case "area":
+		a := experiments.AreaReport()
+		return a, a, nil
+	case "ablation-overlap":
+		rows, err := experiments.AblationOverlap(cfg, nil)
+		if err != nil {
+			return nil, "", err
+		}
+		return rows, experiments.FormatAblationOverlap(rows), nil
+	case "ablation-pmt":
+		rows, err := experiments.AblationPMT(cfg, nil, nil)
+		if err != nil {
+			return nil, "", err
+		}
+		return rows, experiments.FormatAblationPMT(rows), nil
+	case "ablation-router":
+		rows, err := experiments.AblationRouter(cfg, nil)
+		if err != nil {
+			return nil, "", err
+		}
+		return rows, experiments.FormatAblationRouter(rows), nil
+	case "ablation-matchunits":
+		rows, err := experiments.AblationMatchUnits(cfg, nil, nil)
+		if err != nil {
+			return nil, "", err
+		}
+		return rows, experiments.FormatAblationMatchUnits(rows), nil
+	case "extension-bdi":
+		rows, err := experiments.ExtensionBDI(cfg, nil)
+		if err != nil {
+			return nil, "", err
+		}
+		return rows, experiments.FormatExtensionBDI(rows), nil
+	case "ablation-adaptive":
+		rows, err := experiments.AblationAdaptive(cfg, nil)
+		if err != nil {
+			return nil, "", err
+		}
+		return rows, experiments.FormatAblationAdaptive(rows), nil
+	case "ablation-window":
+		rows, err := experiments.AblationWindow(cfg, nil)
+		if err != nil {
+			return nil, "", err
+		}
+		return rows, experiments.FormatAblationWindow(rows), nil
+	default:
+		return nil, "", fmt.Errorf("unknown experiment %q", id)
+	}
+}

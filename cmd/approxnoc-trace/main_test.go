@@ -1,0 +1,37 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestGenAndInfo(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "t.trace")
+	if err := genCmd([]string{"-benchmark", "ssca2", "-packets", "200", "-tiles", "8", "-out", out}); err != nil {
+		t.Fatal(err)
+	}
+	st, err := os.Stat(out)
+	if err != nil || st.Size() == 0 {
+		t.Fatalf("trace file missing: %v", err)
+	}
+	if err := infoCmd([]string{"-in", out}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGenRejectsUnknownBenchmark(t *testing.T) {
+	if err := genCmd([]string{"-benchmark", "doom", "-packets", "5"}); err == nil {
+		t.Fatal("unknown benchmark accepted")
+	}
+}
+
+func TestInfoRequiresInput(t *testing.T) {
+	if err := infoCmd(nil); err == nil {
+		t.Fatal("missing -in accepted")
+	}
+	if err := infoCmd([]string{"-in", "/does/not/exist"}); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

@@ -1,0 +1,53 @@
+package approxnoc_test
+
+import (
+	"fmt"
+
+	"approxnoc"
+)
+
+// ExampleNewSimulator runs a block across the paper's default network and
+// reports that it arrived bit exact (non-approximable data is never
+// altered, whatever the scheme).
+func ExampleNewSimulator() {
+	sim, err := approxnoc.NewSimulator(approxnoc.DefaultOptions(approxnoc.FPVaxx, 10))
+	if err != nil {
+		panic(err)
+	}
+	blk := approxnoc.NewIntBlock([]int32{1, 2, 3, 4}, false)
+	var delivered *approxnoc.Block
+	sim.OnDeliver(func(src, dst int, b *approxnoc.Block) {
+		if b != nil {
+			delivered = b
+		}
+	})
+	if err := sim.SendData(0, 31, blk); err != nil {
+		panic(err)
+	}
+	sim.Drain(10_000)
+	fmt.Println("intact:", delivered.Equal(blk))
+	// Output: intact: true
+}
+
+// ExampleNewChannel shows the standalone encode/decode pipeline: an
+// approximable value within the threshold of a learned reference decodes
+// to something close, never further off than the threshold.
+func ExampleNewChannel() {
+	ch, err := approxnoc.NewChannel(2, approxnoc.FPVaxx, 10)
+	if err != nil {
+		panic(err)
+	}
+	// A large value with low-halfword noise: the approximate match wipes
+	// the noise and hits the half-padded frequent pattern.
+	in := approxnoc.NewIntBlock([]int32{0x12340007}, true)
+	out := ch.Transfer(0, 1, in)
+	fmt.Printf("%#x -> %#x\n", in.Words[0], out.Words[0])
+	// Output: 0x12340007 -> 0x12340000
+}
+
+// ExampleParseScheme round-trips a scheme name.
+func ExampleParseScheme() {
+	s, _ := approxnoc.ParseScheme("DI-VAXX")
+	fmt.Println(s)
+	// Output: DI-VAXX
+}

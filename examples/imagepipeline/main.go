@@ -1,0 +1,121 @@
+// Image pipeline: the image/video-processing scenario the paper's
+// introduction motivates (x264/bodytrack-style). A producer node streams
+// video frames across the NoC channel to a consumer that computes a
+// frame difference; frames are annotated approximable, and the example
+// reports reconstruction PSNR at several error thresholds — the
+// quality-vs-threshold tradeoff of Fig. 13/16.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"approxnoc"
+)
+
+const (
+	width  = 48
+	height = 48
+)
+
+func main() {
+	frameA := renderFrame(0)
+	frameB := renderFrame(3) // panned variant
+
+	fmt.Println("Approximate image pipeline (FP-VAXX)")
+	fmt.Printf("%-10s %10s %12s %14s\n", "threshold", "PSNR (dB)", "compression", "approx words")
+	for _, th := range []int{0, 5, 10, 20} {
+		psnr, ratio, approxFrac, err := pipeline(frameA, frameB, th)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%9d%% %10.1f %11.2fx %13.1f%%\n", th, psnr, ratio, 100*approxFrac)
+	}
+}
+
+// pipeline transfers both frames through the channel and computes the
+// difference frame against the precise pipeline's difference.
+func pipeline(a, b []int32, thresholdPct int) (psnr, ratio, approxFrac float64, err error) {
+	scheme := approxnoc.FPVaxx
+	if thresholdPct == 0 {
+		scheme = approxnoc.FPComp
+	}
+	ch, err := approxnoc.NewChannel(2, scheme, thresholdPct)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	recvA := transferFrame(ch, a)
+	recvB := transferFrame(ch, b)
+	// Consumer computes the frame difference on received data.
+	got := diff(recvA, recvB)
+	want := diff(a, b)
+	st := ch.Stats()
+	return framePSNR(want, got), st.CompressionRatio(), st.ApproxWordFraction(), nil
+}
+
+// transferFrame ships a frame block by block (16 pixels per cache line).
+func transferFrame(ch *approxnoc.Channel, frame []int32) []int32 {
+	out := make([]int32, 0, len(frame))
+	for i := 0; i < len(frame); i += 16 {
+		end := i + 16
+		if end > len(frame) {
+			end = len(frame)
+		}
+		blk := approxnoc.NewIntBlock(frame[i:end], true)
+		got := ch.Transfer(0, 1, blk)
+		for _, w := range got.Words {
+			out = append(out, int32(w))
+		}
+	}
+	return out
+}
+
+func diff(a, b []int32) []int32 {
+	d := make([]int32, len(a))
+	for i := range a {
+		d[i] = b[i] - a[i]
+	}
+	return d
+}
+
+func framePSNR(want, got []int32) float64 {
+	mse := 0.0
+	for i := range want {
+		d := float64(want[i]-got[i]) / 65536 // back to luminance units
+		mse += d * d
+	}
+	mse /= float64(len(want))
+	if mse == 0 {
+		return math.Inf(1)
+	}
+	return 10 * math.Log10(255*255/mse)
+}
+
+// renderFrame draws a synthetic luminance frame with smooth structure in
+// the high halfword and sensor noise in the low halfword — the fixed-point
+// layout that gives VAXX something to approximate away: the noise bits are
+// below every reasonable error threshold for bright pixels, so approximate
+// matching can wipe them and hit the half-padded frequent pattern.
+func renderFrame(shift int) []int32 {
+	f := make([]int32, width*height)
+	n := uint32(uint(shift)*2654435761 + 12345)
+	for y := 0; y < height; y++ {
+		for x := 0; x < width; x++ {
+			v := 128 +
+				64*math.Sin(float64(x+shift)/6) +
+				48*math.Cos(float64(y+shift)/9) +
+				8*math.Sin(float64(x*y)/200)
+			if v < 1 {
+				v = 1
+			}
+			if v > 255 {
+				v = 255
+			}
+			n = n*1664525 + 1013904223
+			noise := int32(n >> 22) // 10 bits of sensor noise
+			f[y*width+x] = int32(v)<<16 | noise
+		}
+	}
+	return f
+}

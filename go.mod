@@ -1,0 +1,3 @@
+module approxnoc
+
+go 1.22

@@ -1,0 +1,53 @@
+package apps
+
+import (
+	"approxnoc/internal/cachesim"
+	"approxnoc/internal/compress"
+	"approxnoc/internal/graph"
+)
+
+// ssca2 computes betweenness centrality over an R-MAT small-world graph
+// (SSCA2 kernel 4) with sampled sources. The floating-point pair-wise
+// dependency accumulations — exactly what the paper annotates (§5.1) —
+// are exchanged between cores through approximable memory, so they pick
+// up transfer approximation. The metric is the mean pair-wise difference
+// of the betweenness scores (§5.4).
+type ssca2 struct {
+	scale      int
+	edgeFactor int
+	sources    int
+}
+
+func newSSCA2() App { return &ssca2{scale: 7, edgeFactor: 6, sources: 24} }
+
+func (s *ssca2) Name() string { return "ssca2" }
+
+func (s *ssca2) run(sys *cachesim.System) ([]float64, error) {
+	g, err := graph.RMAT(s.scale, s.edgeFactor, 909)
+	if err != nil {
+		return nil, err
+	}
+	// The dependency exchange buffer is the annotated approximable region.
+	deps, err := sys.AllocF32(g.N, true)
+	if err != nil {
+		return nil, err
+	}
+	srcs := graph.SampleSources(g, s.sources, 910)
+	i := 0
+	bc := graph.Betweenness(g, srcs, func(v int, d float64) float64 {
+		// The producing core writes the pair-wise dependency; a different
+		// core reads it back for accumulation, crossing the channel.
+		producer := rotate(v, 16)
+		consumer := rotate(v+1+i, 16)
+		i++
+		deps.Set(producer, v, float32(d))
+		return float64(deps.Get(consumer, v))
+	})
+	return bc, nil
+}
+
+func (s *ssca2) Run(scheme compress.Scheme, thresholdPct int) (Result, error) {
+	return runPair(s.Name(), func(sys *cachesim.System) ([]float64, error) {
+		return s.run(sys)
+	}, scheme, thresholdPct)
+}

@@ -1,0 +1,92 @@
+package cachesim
+
+import (
+	"fmt"
+
+	"approxnoc/internal/value"
+)
+
+// F32Array is a typed view over simulated memory; every element access
+// goes through a core's cache, so approximable arrays pick up transfer
+// noise exactly like the paper's annotated data regions.
+type F32Array struct {
+	sys  *System
+	base uint32
+	n    int
+}
+
+// AllocF32 reserves n float32 elements, optionally annotated approximable.
+func (s *System) AllocF32(n int, approximable bool) (F32Array, error) {
+	base, err := s.Alloc(4 * n)
+	if err != nil {
+		return F32Array{}, err
+	}
+	if approximable {
+		// Annotation covers whole lines; Alloc is line aligned and padded.
+		s.MarkApproximable(base, pad(4*n, s.cfg.LineBytes), value.Float32)
+	}
+	return F32Array{sys: s, base: base, n: n}, nil
+}
+
+// Len returns the element count.
+func (a F32Array) Len() int { return a.n }
+
+// Get reads element i through core's cache.
+func (a F32Array) Get(core, i int) float32 {
+	a.bounds(i)
+	return a.sys.LoadF32(core, a.base+uint32(4*i))
+}
+
+// Set writes element i through core's cache.
+func (a F32Array) Set(core, i int, v float32) {
+	a.bounds(i)
+	a.sys.StoreF32(core, a.base+uint32(4*i), v)
+}
+
+func (a F32Array) bounds(i int) {
+	if i < 0 || i >= a.n {
+		panic(fmt.Sprintf("cachesim: index %d out of [0,%d)", i, a.n))
+	}
+}
+
+// I32Array is the integer counterpart of F32Array.
+type I32Array struct {
+	sys  *System
+	base uint32
+	n    int
+}
+
+// AllocI32 reserves n int32 elements, optionally annotated approximable.
+func (s *System) AllocI32(n int, approximable bool) (I32Array, error) {
+	base, err := s.Alloc(4 * n)
+	if err != nil {
+		return I32Array{}, err
+	}
+	if approximable {
+		s.MarkApproximable(base, pad(4*n, s.cfg.LineBytes), value.Int32)
+	}
+	return I32Array{sys: s, base: base, n: n}, nil
+}
+
+// Len returns the element count.
+func (a I32Array) Len() int { return a.n }
+
+// Get reads element i through core's cache.
+func (a I32Array) Get(core, i int) int32 {
+	a.bounds(i)
+	return a.sys.LoadI32(core, a.base+uint32(4*i))
+}
+
+// Set writes element i through core's cache.
+func (a I32Array) Set(core, i int, v int32) {
+	a.bounds(i)
+	a.sys.StoreI32(core, a.base+uint32(4*i), v)
+}
+
+func (a I32Array) bounds(i int) {
+	if i < 0 || i >= a.n {
+		panic(fmt.Sprintf("cachesim: index %d out of [0,%d)", i, a.n))
+	}
+}
+
+func pad(n, line int) int { return (n + line - 1) / line * line }

@@ -1,0 +1,69 @@
+package compress
+
+// bitWriter packs variable-width fields MSB-first into a byte slice; the
+// compression schemes use it to build the network representation (NR) of a
+// cache block so encode/decode round trips operate on real bitstreams, not
+// just size accounting.
+type bitWriter struct {
+	buf  []byte
+	nbit int
+}
+
+// WriteBits appends the low width bits of v, most significant first.
+func (w *bitWriter) WriteBits(v uint32, width int) {
+	if width < 0 || width > 32 {
+		panic("compress: bit width out of range")
+	}
+	for i := width - 1; i >= 0; i-- {
+		bit := (v >> uint(i)) & 1
+		byteIdx := w.nbit / 8
+		if byteIdx == len(w.buf) {
+			w.buf = append(w.buf, 0)
+		}
+		if bit != 0 {
+			w.buf[byteIdx] |= 1 << uint(7-w.nbit%8)
+		}
+		w.nbit++
+	}
+}
+
+// Len returns the number of bits written.
+func (w *bitWriter) Len() int { return w.nbit }
+
+// Bytes returns the packed buffer.
+func (w *bitWriter) Bytes() []byte { return w.buf }
+
+// bitReader consumes fields written by bitWriter in order.
+type bitReader struct {
+	buf  []byte
+	pos  int
+	fail bool
+}
+
+func newBitReader(buf []byte) *bitReader { return &bitReader{buf: buf} }
+
+// ReadBits extracts the next width bits MSB-first. Reading past the end
+// sets the failed flag and returns zero.
+func (r *bitReader) ReadBits(width int) uint32 {
+	if width < 0 || width > 32 {
+		panic("compress: bit width out of range")
+	}
+	var v uint32
+	for i := 0; i < width; i++ {
+		byteIdx := r.pos / 8
+		if byteIdx >= len(r.buf) {
+			r.fail = true
+			return 0
+		}
+		bit := (r.buf[byteIdx] >> uint(7-r.pos%8)) & 1
+		v = v<<1 | uint32(bit)
+		r.pos++
+	}
+	return v
+}
+
+// Failed reports whether any read ran past the buffer.
+func (r *bitReader) Failed() bool { return r.fail }
+
+// Pos returns the number of bits consumed.
+func (r *bitReader) Pos() int { return r.pos }

@@ -1,0 +1,305 @@
+// Package compress implements the NoC data compression substrate the paper
+// builds on and the two APPROX-NoC microarchitectures on top of it:
+//
+//   - FP-COMP: static frequent-pattern compression (Fig. 5), after
+//     Alameldeen & Wood's FPC as adapted to NoCs by Das et al. [12].
+//   - FP-VAXX: FP-COMP with don't-care-masked approximate matching (Fig. 6).
+//   - DI-COMP: dynamic dictionary compression with encoder/decoder pattern
+//     matching tables and decoder-driven updates (Fig. 7), after Jin et
+//     al. [17].
+//   - DI-VAXX: DI-COMP with a TCAM encoder PMT holding approximate patterns
+//     plus original-pattern side storage for exact traffic (Fig. 8).
+//
+// Every scheme is a per-node Codec: it compresses blocks leaving the node
+// and decompresses blocks arriving at it. Dictionary schemes additionally
+// exchange Notifications (update/invalidate/ack control messages) that the
+// network layer transports as single-flit control packets.
+package compress
+
+import (
+	"fmt"
+
+	"approxnoc/internal/value"
+)
+
+// Scheme identifies one of the evaluated mechanisms.
+type Scheme int
+
+const (
+	// Baseline transmits blocks uncompressed.
+	Baseline Scheme = iota
+	// DIComp is exact dictionary-based compression.
+	DIComp
+	// DIVaxx is dictionary compression with VAXX approximation.
+	DIVaxx
+	// FPComp is exact frequent-pattern compression.
+	FPComp
+	// FPVaxx is frequent-pattern compression with VAXX approximation.
+	FPVaxx
+	// BDComp is exact base-delta compression (related work [36]), an
+	// extension comparator beyond the paper's evaluated schemes.
+	BDComp
+	// BDVaxx is base-delta compression with VAXX approximation.
+	BDVaxx
+)
+
+var schemeNames = map[Scheme]string{
+	Baseline: "Baseline",
+	DIComp:   "DI-COMP",
+	DIVaxx:   "DI-VAXX",
+	FPComp:   "FP-COMP",
+	FPVaxx:   "FP-VAXX",
+	BDComp:   "BD-COMP",
+	BDVaxx:   "BD-VAXX",
+}
+
+func (s Scheme) String() string {
+	if n, ok := schemeNames[s]; ok {
+		return n
+	}
+	return fmt.Sprintf("Scheme(%d)", int(s))
+}
+
+// IsVaxx reports whether the scheme includes the approximation engine.
+func (s Scheme) IsVaxx() bool { return s == DIVaxx || s == FPVaxx || s == BDVaxx }
+
+// AllSchemes lists the schemes in the order the paper's figures plot them.
+func AllSchemes() []Scheme { return []Scheme{Baseline, DIComp, DIVaxx, FPComp, FPVaxx} }
+
+// ExtendedSchemes additionally includes the base-delta comparators that
+// go beyond the paper's evaluation.
+func ExtendedSchemes() []Scheme {
+	return []Scheme{Baseline, DIComp, DIVaxx, FPComp, FPVaxx, BDComp, BDVaxx}
+}
+
+// ParseScheme converts a name (as printed by String) to a Scheme.
+func ParseScheme(name string) (Scheme, error) {
+	for s, n := range schemeNames {
+		if n == name {
+			return s, nil
+		}
+	}
+	return Baseline, fmt.Errorf("compress: unknown scheme %q", name)
+}
+
+// WordKind classifies the fate of one word at the encoder.
+type WordKind uint8
+
+const (
+	// RawWord was transmitted uncompressed.
+	RawWord WordKind = iota
+	// ExactWord was compressed without value change.
+	ExactWord
+	// ApproxWord was compressed to an approximate reference value.
+	ApproxWord
+)
+
+// WordEnc records the encoder's decision for one word — used by tests and
+// the statistics collectors; the receiver reconstructs from Payload alone.
+type WordEnc struct {
+	Kind    WordKind
+	Bits    int        // bits this word contributed to the payload
+	Orig    value.Word // the precise word handed to the encoder
+	Decoded value.Word // the word the decoder will reconstruct
+}
+
+// Encoded is a compressed cache block in its network representation.
+type Encoded struct {
+	Scheme       Scheme
+	NumWords     int
+	DType        value.DataType
+	Approximable bool
+	Bits         int    // total payload bits
+	Payload      []byte // packed bitstream
+	Words        []WordEnc
+}
+
+// PayloadBytes returns the byte-rounded payload size.
+func (e *Encoded) PayloadBytes() int { return (e.Bits + 7) / 8 }
+
+// NotifKind distinguishes the dictionary-protocol control messages.
+type NotifKind uint8
+
+const (
+	// NotifUpdate tells an encoder a decoder installed pattern at index.
+	NotifUpdate NotifKind = iota
+	// NotifInvalidate tells an encoder to drop its mapping for a pattern.
+	NotifInvalidate
+	// NotifInvalidateAck confirms an invalidation back to the decoder.
+	NotifInvalidateAck
+)
+
+func (k NotifKind) String() string {
+	switch k {
+	case NotifUpdate:
+		return "update"
+	case NotifInvalidate:
+		return "invalidate"
+	case NotifInvalidateAck:
+		return "invalidate-ack"
+	default:
+		return fmt.Sprintf("NotifKind(%d)", uint8(k))
+	}
+}
+
+// Notification is one dictionary-consistency control message. The network
+// layer carries it between nodes as a single-flit control packet.
+type Notification struct {
+	From    int
+	To      int
+	Kind    NotifKind
+	Pattern value.Word
+	DType   value.DataType
+	Index   int
+}
+
+// OpStats aggregates per-codec operation counts for the quality and power
+// models.
+type OpStats struct {
+	BlocksIn          uint64
+	WordsIn           uint64
+	WordsExact        uint64 // compressed, value preserved
+	WordsApprox       uint64 // compressed, value approximated
+	WordsRaw          uint64
+	BitsIn            uint64
+	BitsOut           uint64
+	SumRelError       float64 // over all encoded words (exact words add 0)
+	BlocksDecoded     uint64
+	WordsDecoded      uint64
+	CamSearches       uint64
+	TcamSearches      uint64
+	TableWrites       uint64
+	NotificationsSent uint64
+	NotificationsRecv uint64
+	EncodeOps         uint64 // words passed through pattern encode logic
+	DecodeOps         uint64 // words passed through decode logic
+}
+
+// Add accumulates other into s.
+func (s *OpStats) Add(o OpStats) {
+	s.BlocksIn += o.BlocksIn
+	s.WordsIn += o.WordsIn
+	s.WordsExact += o.WordsExact
+	s.WordsApprox += o.WordsApprox
+	s.WordsRaw += o.WordsRaw
+	s.BitsIn += o.BitsIn
+	s.BitsOut += o.BitsOut
+	s.SumRelError += o.SumRelError
+	s.BlocksDecoded += o.BlocksDecoded
+	s.WordsDecoded += o.WordsDecoded
+	s.CamSearches += o.CamSearches
+	s.TcamSearches += o.TcamSearches
+	s.TableWrites += o.TableWrites
+	s.NotificationsSent += o.NotificationsSent
+	s.NotificationsRecv += o.NotificationsRecv
+	s.EncodeOps += o.EncodeOps
+	s.DecodeOps += o.DecodeOps
+}
+
+// CompressionRatio returns BitsIn / BitsOut (1.0 when nothing flowed).
+func (s OpStats) CompressionRatio() float64 {
+	if s.BitsOut == 0 {
+		return 1
+	}
+	return float64(s.BitsIn) / float64(s.BitsOut)
+}
+
+// EncodedWordFraction returns the fraction of words that were compressed
+// (exact + approximate).
+func (s OpStats) EncodedWordFraction() float64 {
+	if s.WordsIn == 0 {
+		return 0
+	}
+	return float64(s.WordsExact+s.WordsApprox) / float64(s.WordsIn)
+}
+
+// ApproxWordFraction returns the fraction of words compressed approximately.
+func (s OpStats) ApproxWordFraction() float64 {
+	if s.WordsIn == 0 {
+		return 0
+	}
+	return float64(s.WordsApprox) / float64(s.WordsIn)
+}
+
+// DataQuality returns 1 - mean relative word error, the paper's "data
+// value quality" metric (Fig. 9, right axis).
+func (s OpStats) DataQuality() float64 {
+	if s.WordsIn == 0 {
+		return 1
+	}
+	return 1 - s.SumRelError/float64(s.WordsIn)
+}
+
+// Codec is the per-node compression engine: one lives in every network
+// interface and handles both directions plus dictionary control traffic.
+type Codec interface {
+	// Scheme identifies the mechanism.
+	Scheme() Scheme
+	// Compress encodes a block departing this node for node dst.
+	Compress(dst int, blk *value.Block) *Encoded
+	// Decompress reconstructs a block that arrived from node src, possibly
+	// emitting dictionary notifications to send.
+	Decompress(src int, enc *Encoded) (*value.Block, []Notification)
+	// HandleNotification delivers a dictionary control message addressed to
+	// this node and returns any replies (e.g. invalidate acks).
+	HandleNotification(n Notification) []Notification
+	// Stats returns the codec's accumulated operation counts.
+	Stats() OpStats
+}
+
+// baseline is the no-compression codec.
+type baseline struct {
+	stats OpStats
+}
+
+// NewBaseline returns the pass-through codec used for the Baseline bars.
+func NewBaseline() Codec { return &baseline{} }
+
+func (b *baseline) Scheme() Scheme { return Baseline }
+
+func (b *baseline) Compress(dst int, blk *value.Block) *Encoded {
+	w := &bitWriter{}
+	words := make([]WordEnc, len(blk.Words))
+	for i, word := range blk.Words {
+		w.WriteBits(word, 32)
+		words[i] = WordEnc{Kind: RawWord, Bits: 32, Orig: word, Decoded: word}
+	}
+	b.stats.BlocksIn++
+	b.stats.WordsIn += uint64(len(blk.Words))
+	b.stats.WordsRaw += uint64(len(blk.Words))
+	b.stats.BitsIn += uint64(32 * len(blk.Words))
+	b.stats.BitsOut += uint64(w.Len())
+	return &Encoded{
+		Scheme:       Baseline,
+		NumWords:     len(blk.Words),
+		DType:        blk.DType,
+		Approximable: blk.Approximable,
+		Bits:         w.Len(),
+		Payload:      w.Bytes(),
+		Words:        words,
+	}
+}
+
+func (b *baseline) Decompress(src int, enc *Encoded) (*value.Block, []Notification) {
+	r := newBitReader(enc.Payload)
+	blk := value.NewBlock(enc.NumWords, enc.DType, enc.Approximable)
+	for i := range blk.Words {
+		blk.Words[i] = r.ReadBits(32)
+	}
+	b.stats.BlocksDecoded++
+	b.stats.WordsDecoded += uint64(enc.NumWords)
+	return blk, nil
+}
+
+func (b *baseline) HandleNotification(Notification) []Notification { return nil }
+
+func (b *baseline) Stats() OpStats { return b.stats }
+
+// ThresholdAdjuster is implemented by codecs whose error threshold can be
+// changed at run time (§3.1: the threshold "can be dynamically adjusted
+// at run time").
+type ThresholdAdjuster interface {
+	// SetThreshold switches to a new error threshold in percent, taking
+	// effect from the next compressed block.
+	SetThreshold(thresholdPct int) error
+}

@@ -1,0 +1,609 @@
+package compress
+
+import (
+	"fmt"
+
+	"approxnoc/internal/approx"
+	"approxnoc/internal/quality"
+	"approxnoc/internal/tcam"
+	"approxnoc/internal/value"
+)
+
+// DictConfig parameterizes the dictionary-based schemes (Fig. 7/8).
+type DictConfig struct {
+	// Nodes is the network size; encoder entries keep one index slot per
+	// destination and decoder entries one valid bit per source.
+	Nodes int
+	// Entries is the PMT capacity (Table 1 default: 8).
+	Entries int
+	// CandidateCap bounds the decoder's recurrent-pattern tracker.
+	CandidateCap int
+	// PromoteThreshold is how many sightings promote a candidate into the
+	// decoder PMT.
+	PromoteThreshold int
+	// PendingCap bounds concurrent evictions awaiting invalidate acks.
+	PendingCap int
+}
+
+// DefaultDictConfig returns the Table 1 dictionary parameters for an
+// n-node network.
+func DefaultDictConfig(n int) DictConfig {
+	return DictConfig{Nodes: n, Entries: 8, CandidateCap: 32, PromoteThreshold: 4, PendingCap: 4}
+}
+
+// decoder frequency counters are halved every agingPeriod decoded words so
+// formerly-hot patterns can age out of the PMT instead of pinning it.
+const agingPeriod = 4096
+
+func (c *DictConfig) validate() error {
+	if c.Nodes <= 0 {
+		return fmt.Errorf("compress: dict config needs Nodes > 0, got %d", c.Nodes)
+	}
+	if c.Entries <= 0 {
+		return fmt.Errorf("compress: dict config needs Entries > 0, got %d", c.Entries)
+	}
+	if c.CandidateCap <= 0 {
+		c.CandidateCap = 4 * c.Entries
+	}
+	if c.PromoteThreshold <= 0 {
+		c.PromoteThreshold = 2
+	}
+	if c.PendingCap <= 0 {
+		c.PendingCap = 4
+	}
+	return nil
+}
+
+func indexBits(entries int) int {
+	b := 0
+	for 1<<b < entries {
+		b++
+	}
+	if b == 0 {
+		b = 1
+	}
+	return b
+}
+
+// candidateTable is the decoder's bounded recurrent-pattern tracker: a
+// small LFU table counting raw word sightings.
+type candidateTable struct {
+	cap   int
+	pats  []value.Word
+	dts   []value.DataType
+	count []int
+}
+
+func newCandidateTable(cap int) *candidateTable {
+	return &candidateTable{cap: cap}
+}
+
+// bump records one sighting and returns the updated count.
+func (t *candidateTable) bump(p value.Word, dt value.DataType) int {
+	for i, q := range t.pats {
+		if q == p && t.dts[i] == dt {
+			t.count[i]++
+			return t.count[i]
+		}
+	}
+	if len(t.pats) < t.cap {
+		t.pats = append(t.pats, p)
+		t.dts = append(t.dts, dt)
+		t.count = append(t.count, 1)
+		return 1
+	}
+	// Replace the coldest candidate.
+	victim := 0
+	for i := 1; i < len(t.count); i++ {
+		if t.count[i] < t.count[victim] {
+			victim = i
+		}
+	}
+	t.pats[victim], t.dts[victim], t.count[victim] = p, dt, 1
+	return 1
+}
+
+// drop removes a candidate (after promotion).
+func (t *candidateTable) drop(p value.Word, dt value.DataType) {
+	for i, q := range t.pats {
+		if q == p && t.dts[i] == dt {
+			last := len(t.pats) - 1
+			t.pats[i], t.dts[i], t.count[i] = t.pats[last], t.dts[last], t.count[last]
+			t.pats = t.pats[:last]
+			t.dts = t.dts[:last]
+			t.count = t.count[:last]
+			return
+		}
+	}
+}
+
+// destRef is one encoder-PMT per-destination slot: the encoded index the
+// destination decoder assigned, plus the original pattern recorded there
+// (Fig. 8's "idx / op" pairs; for exact DI-COMP orig always equals the
+// entry pattern).
+type destRef struct {
+	valid bool
+	idx   int
+	orig  value.Word
+}
+
+// decEntry is one decoder-PMT row (Fig. 7b): pattern, frequency counter
+// and the vector of valid bits naming every encoder that maps to it.
+type decEntry struct {
+	valid     bool
+	pattern   value.Word
+	dtype     value.DataType
+	freq      uint64
+	validBits []bool
+	locked    bool // eviction handshake in progress
+}
+
+// pendingInstall tracks an eviction awaiting invalidate acks before the
+// slot can be reused for a newly promoted pattern.
+type pendingInstall struct {
+	slot      int
+	pattern   value.Word
+	dtype     value.DataType
+	requester int // source node that triggered the promotion
+	awaiting  map[int]bool
+}
+
+// dictCodec implements DI-COMP (avcl == nil) and DI-VAXX (avcl != nil).
+type dictCodec struct {
+	scheme  Scheme
+	node    int
+	cfg     DictConfig
+	idxBits int
+	avcl    *approx.AVCL
+	budget  quality.Budget
+
+	// Encoder side. DI-COMP uses the binary CAM; DI-VAXX the TCAM. Both
+	// keep per-slot side storage for the per-destination index vectors.
+	cam     *tcam.CAM
+	tc      *tcam.TCAM
+	encDest [][]destRef // [slot][dest]
+
+	// Decoder side.
+	dec     []decEntry
+	cands   *candidateTable
+	pending []pendingInstall
+
+	stats          OpStats
+	decodeMismatch uint64
+}
+
+// NewDIComp returns the exact dictionary codec for the given node.
+func NewDIComp(node int, cfg DictConfig) (Codec, error) {
+	return newDict(DIComp, node, cfg, nil, nil)
+}
+
+// NewDIVaxx returns the DI-VAXX codec with the given error threshold (%).
+func NewDIVaxx(node int, cfg DictConfig, thresholdPct int) (Codec, error) {
+	a, err := approx.New(thresholdPct)
+	if err != nil {
+		return nil, err
+	}
+	b, err := quality.NewPerWord(thresholdPct)
+	if err != nil {
+		return nil, err
+	}
+	return newDict(DIVaxx, node, cfg, a, b)
+}
+
+// NewDIVaxxWindowed returns DI-VAXX with the §7 windowed cumulative
+// error budget: TCAM don't-care families are computed at boost times the
+// threshold, and the budget keeps the mean window error at the nominal
+// per-word level.
+func NewDIVaxxWindowed(node int, cfg DictConfig, thresholdPct, window int, boost float64) (Codec, error) {
+	boosted := int(float64(thresholdPct) * boost)
+	if boosted > 100 {
+		boosted = 100
+	}
+	a, err := approx.New(boosted)
+	if err != nil {
+		return nil, err
+	}
+	b, err := quality.NewWindow(thresholdPct, window, boost)
+	if err != nil {
+		return nil, err
+	}
+	return newDict(DIVaxx, node, cfg, a, b)
+}
+
+func newDict(s Scheme, node int, cfg DictConfig, a *approx.AVCL, b quality.Budget) (Codec, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if node < 0 || node >= cfg.Nodes {
+		return nil, fmt.Errorf("compress: node %d outside [0,%d)", node, cfg.Nodes)
+	}
+	d := &dictCodec{
+		scheme:  s,
+		node:    node,
+		cfg:     cfg,
+		idxBits: indexBits(cfg.Entries),
+		avcl:    a,
+		budget:  b,
+		encDest: make([][]destRef, cfg.Entries),
+		dec:     make([]decEntry, cfg.Entries),
+		cands:   newCandidateTable(cfg.CandidateCap),
+	}
+	for i := range d.encDest {
+		d.encDest[i] = make([]destRef, cfg.Nodes)
+	}
+	for i := range d.dec {
+		d.dec[i].validBits = make([]bool, cfg.Nodes)
+	}
+	if a != nil {
+		d.tc = tcam.NewTCAM(cfg.Entries)
+	} else {
+		d.cam = tcam.NewCAM(cfg.Entries)
+	}
+	return d, nil
+}
+
+func (d *dictCodec) Scheme() Scheme { return d.scheme }
+
+// --- Encoder ---------------------------------------------------------------
+
+func (d *dictCodec) Compress(dst int, blk *value.Block) *Encoded {
+	w := &bitWriter{}
+	words := make([]WordEnc, len(blk.Words))
+	d.stats.BlocksIn++
+	d.stats.WordsIn += uint64(len(blk.Words))
+	d.stats.BitsIn += uint64(32 * len(blk.Words))
+
+	for i, word := range blk.Words {
+		d.stats.EncodeOps++
+		we := d.encodeWord(dst, word, blk)
+		if d.budget != nil {
+			d.budget.Advance()
+		}
+		if we.Kind == RawWord {
+			w.WriteBits(0, 1)
+			w.WriteBits(word, 32)
+		} else {
+			w.WriteBits(1, 1)
+			w.WriteBits(uint32(we.encIdx), d.idxBits)
+		}
+		switch we.Kind {
+		case RawWord:
+			d.stats.WordsRaw++
+		case ExactWord:
+			d.stats.WordsExact++
+		case ApproxWord:
+			d.stats.WordsApprox++
+			d.stats.SumRelError += value.RelError(word, we.Decoded, blk.DType)
+		}
+		words[i] = we.WordEnc
+	}
+
+	d.stats.BitsOut += uint64(w.Len())
+	return &Encoded{
+		Scheme:       d.scheme,
+		NumWords:     len(blk.Words),
+		DType:        blk.DType,
+		Approximable: blk.Approximable,
+		Bits:         w.Len(),
+		Payload:      w.Bytes(),
+		Words:        words,
+	}
+}
+
+type dictWordEnc struct {
+	WordEnc
+	encIdx int // decoder-PMT index transmitted on a hit
+}
+
+func (d *dictCodec) encodeWord(dst int, word value.Word, blk *value.Block) dictWordEnc {
+	raw := dictWordEnc{WordEnc: WordEnc{Kind: RawWord, Bits: 1 + 32, Orig: word, Decoded: word}}
+	if d.avcl == nil {
+		// Exact DI-COMP: one CAM search per word.
+		slot, ok := d.cam.Lookup(word)
+		if !ok {
+			return raw
+		}
+		ref := d.encDest[slot][dst]
+		if !ref.valid || ref.orig != word {
+			return raw
+		}
+		return dictWordEnc{
+			WordEnc: WordEnc{Kind: ExactWord, Bits: 1 + d.idxBits, Orig: word, Decoded: word},
+			encIdx:  ref.idx,
+		}
+	}
+
+	// DI-VAXX: one TCAM search per word against approximate patterns.
+	slot, ok := d.tc.Search(word)
+	if !ok {
+		return raw
+	}
+	ref := d.encDest[slot][dst]
+	if !ref.valid {
+		return raw
+	}
+	approximable := blk.Approximable
+	if blk.DType == value.Float32 && value.IsSpecialFloat(word) {
+		approximable = false // float exponent detection bypass
+	}
+	if ref.orig == word {
+		return dictWordEnc{
+			WordEnc: WordEnc{Kind: ExactWord, Bits: 1 + d.idxBits, Orig: word, Decoded: word},
+			encIdx:  ref.idx,
+		}
+	}
+	if !approximable {
+		// A TCAM family match does not guarantee the recovered pattern
+		// equals the transmitted word (§4.2.1), so precise traffic needs
+		// the original-pattern comparison to succeed.
+		return raw
+	}
+	// Online error control before committing the approximation (the
+	// windowed budget is the §7 extension).
+	if d.budget == nil || !d.budget.Allow(value.RelError(word, ref.orig, blk.DType)) {
+		return raw
+	}
+	return dictWordEnc{
+		WordEnc: WordEnc{Kind: ApproxWord, Bits: 1 + d.idxBits, Orig: word, Decoded: ref.orig},
+		encIdx:  ref.idx,
+	}
+}
+
+// --- Decoder ---------------------------------------------------------------
+
+func (d *dictCodec) Decompress(src int, enc *Encoded) (*value.Block, []Notification) {
+	r := newBitReader(enc.Payload)
+	blk := value.NewBlock(enc.NumWords, enc.DType, enc.Approximable)
+	var out []Notification
+	for i := range blk.Words {
+		d.stats.DecodeOps++
+		if r.ReadBits(1) == 1 {
+			idx := int(r.ReadBits(d.idxBits))
+			if idx < len(d.dec) && d.dec[idx].valid {
+				blk.Words[i] = d.dec[idx].pattern
+				d.dec[idx].freq++
+			} else {
+				d.decodeMismatch++
+			}
+			continue
+		}
+		word := r.ReadBits(32)
+		blk.Words[i] = word
+		out = append(out, d.observeRawWord(src, word, enc.DType)...)
+	}
+	d.stats.BlocksDecoded++
+	before := d.stats.WordsDecoded
+	d.stats.WordsDecoded += uint64(enc.NumWords)
+	if before/agingPeriod != d.stats.WordsDecoded/agingPeriod {
+		d.ageFrequencies()
+	}
+	d.stats.NotificationsSent += uint64(len(out))
+	return blk, out
+}
+
+// ageFrequencies halves every decoder-PMT frequency counter so the
+// eviction guard in promote can eventually displace patterns whose phase
+// has passed.
+func (d *dictCodec) ageFrequencies() {
+	for slot := range d.dec {
+		d.dec[slot].freq /= 2
+	}
+}
+
+// observeRawWord runs the decoder-side recurrent pattern detection on one
+// uncompressed word from src and returns any protocol messages to send.
+func (d *dictCodec) observeRawWord(src int, word value.Word, dt value.DataType) []Notification {
+	// Already tracked? Extend the mapping to this encoder if needed.
+	for slot := range d.dec {
+		e := &d.dec[slot]
+		if e.valid && !e.locked && e.pattern == word && e.dtype == dt {
+			e.freq++
+			if !e.validBits[src] {
+				e.validBits[src] = true
+				return []Notification{{
+					From: d.node, To: src, Kind: NotifUpdate,
+					Pattern: word, DType: dt, Index: slot,
+				}}
+			}
+			return nil
+		}
+	}
+	count := d.cands.bump(word, dt)
+	if count < d.cfg.PromoteThreshold {
+		return nil
+	}
+	return d.promote(src, word, dt, count)
+}
+
+// promote installs a newly frequent pattern, evicting a victim with the
+// invalidate/ack handshake when the PMT is full. The candidate only
+// displaces an entry that is colder than the candidate itself, which
+// keeps genuinely hot patterns resident and bounds notification churn.
+func (d *dictCodec) promote(src int, word value.Word, dt value.DataType, count int) []Notification {
+	// Free slot?
+	for slot := range d.dec {
+		if !d.dec[slot].valid && !d.dec[slot].locked {
+			d.cands.drop(word, dt)
+			return d.install(slot, src, word, dt)
+		}
+	}
+	if len(d.pending) >= d.cfg.PendingCap {
+		return nil // too many evictions in flight; retry on a later sighting
+	}
+	// Victim: coldest unlocked entry.
+	victim, best, found := 0, ^uint64(0), false
+	for slot := range d.dec {
+		e := &d.dec[slot]
+		if e.valid && !e.locked && e.freq < best {
+			victim, best, found = slot, e.freq, true
+		}
+	}
+	if !found {
+		return nil
+	}
+	if best >= uint64(count) {
+		return nil // the candidate is not hotter than the coldest entry yet
+	}
+	d.cands.drop(word, dt)
+	e := &d.dec[victim]
+	awaiting := make(map[int]bool)
+	var out []Notification
+	for encNode, set := range e.validBits {
+		if set {
+			awaiting[encNode] = true
+			out = append(out, Notification{
+				From: d.node, To: encNode, Kind: NotifInvalidate,
+				Pattern: e.pattern, DType: e.dtype, Index: victim,
+			})
+		}
+	}
+	if len(awaiting) == 0 {
+		// No encoder ever mapped it; reuse immediately.
+		e.valid = false
+		return d.install(victim, src, word, dt)
+	}
+	e.locked = true
+	d.pending = append(d.pending, pendingInstall{
+		slot: victim, pattern: word, dtype: dt, requester: src, awaiting: awaiting,
+	})
+	d.stats.NotificationsSent += uint64(len(out))
+	return out
+}
+
+func (d *dictCodec) install(slot, src int, word value.Word, dt value.DataType) []Notification {
+	e := &d.dec[slot]
+	e.valid = true
+	e.locked = false
+	e.pattern = word
+	e.dtype = dt
+	e.freq = 1
+	for i := range e.validBits {
+		e.validBits[i] = false
+	}
+	e.validBits[src] = true
+	d.stats.TableWrites++
+	return []Notification{{
+		From: d.node, To: src, Kind: NotifUpdate,
+		Pattern: word, DType: dt, Index: slot,
+	}}
+}
+
+// --- Protocol --------------------------------------------------------------
+
+func (d *dictCodec) HandleNotification(n Notification) []Notification {
+	d.stats.NotificationsRecv++
+	switch n.Kind {
+	case NotifUpdate:
+		d.handleUpdate(n)
+		return nil
+	case NotifInvalidate:
+		d.handleInvalidate(n)
+		ack := Notification{From: d.node, To: n.From, Kind: NotifInvalidateAck, Index: n.Index, Pattern: n.Pattern}
+		d.stats.NotificationsSent++
+		return []Notification{ack}
+	case NotifInvalidateAck:
+		return d.handleAck(n)
+	}
+	return nil
+}
+
+// handleUpdate installs a (pattern -> decoder index) mapping for the
+// decoder at n.From into this node's encoder PMT.
+func (d *dictCodec) handleUpdate(n Notification) {
+	var slot int
+	if d.avcl == nil {
+		s, _, evicted := d.cam.Insert(n.Pattern)
+		if evicted {
+			d.clearSlot(s)
+		}
+		slot = s
+	} else {
+		// APCL: compute the approximate pattern (don't-care family) the
+		// TCAM will store for this reference pattern.
+		mask, ok := d.avcl.MaskWord(n.Pattern, n.DType)
+		if !ok {
+			mask = 0
+		}
+		ent := tcam.TEntry{Value: n.Pattern &^ mask, Mask: mask}
+		s, _, evicted := d.tc.Insert(ent)
+		if evicted {
+			d.clearSlot(s)
+		}
+		slot = s
+	}
+	d.encDest[slot][n.From] = destRef{valid: true, idx: n.Index, orig: n.Pattern}
+	d.stats.TableWrites++
+}
+
+func (d *dictCodec) clearSlot(slot int) {
+	for i := range d.encDest[slot] {
+		d.encDest[slot][i] = destRef{}
+	}
+}
+
+// handleInvalidate drops this encoder's mapping for decoder n.From's
+// index n.Index. Tolerates the mapping being already gone (the encoder may
+// have evicted the entry locally).
+func (d *dictCodec) handleInvalidate(n Notification) {
+	for slot := range d.encDest {
+		ref := &d.encDest[slot][n.From]
+		if ref.valid && ref.idx == n.Index {
+			*ref = destRef{}
+			// Invalidate the whole encoder entry if no destination uses it.
+			inUse := false
+			for i := range d.encDest[slot] {
+				if d.encDest[slot][i].valid {
+					inUse = true
+					break
+				}
+			}
+			if !inUse {
+				if d.avcl == nil {
+					d.cam.InvalidateIndex(slot)
+				} else {
+					d.tc.InvalidateIndex(slot)
+				}
+			}
+			return
+		}
+	}
+}
+
+// handleAck completes a pending eviction once every encoder confirmed.
+func (d *dictCodec) handleAck(n Notification) []Notification {
+	for i := range d.pending {
+		p := &d.pending[i]
+		if p.slot != n.Index {
+			continue
+		}
+		delete(p.awaiting, n.From)
+		if len(p.awaiting) > 0 {
+			return nil
+		}
+		slot, src, pat, dt := p.slot, p.requester, p.pattern, p.dtype
+		d.pending = append(d.pending[:i], d.pending[i+1:]...)
+		d.dec[slot].valid = false
+		d.dec[slot].locked = false
+		out := d.install(slot, src, pat, dt)
+		d.stats.NotificationsSent += uint64(len(out))
+		return out
+	}
+	return nil
+}
+
+// DecodeMismatches reports compressed words that referenced an invalid
+// decoder entry — zero under the in-order delivery the NI guarantees.
+func (d *dictCodec) DecodeMismatches() uint64 { return d.decodeMismatch }
+
+func (d *dictCodec) Stats() OpStats {
+	s := d.stats
+	if d.cam != nil {
+		cs := d.cam.Stats()
+		s.CamSearches += cs.Searches
+	}
+	if d.tc != nil {
+		ts := d.tc.Stats()
+		s.TcamSearches += ts.Searches
+	}
+	return s
+}

@@ -1,0 +1,376 @@
+package compress
+
+import (
+	"fmt"
+
+	"approxnoc/internal/approx"
+	"approxnoc/internal/quality"
+	"approxnoc/internal/value"
+)
+
+// The static frequent-pattern table of Fig. 5. Each pattern is identified
+// by a 3-bit prefix and transmits a fixed-width adjunct data field; the
+// decoder reconstructs the full word from that field alone. Prefix 110 is
+// unused, exactly as in the paper's table.
+const (
+	fpPrefixBits = 3
+
+	fpZeroRun   = 0b000 // run of zero words; adjunct = 3-bit run length
+	fpSE4       = 0b001 // 4-bit sign-extended
+	fpSE8       = 0b010 // one byte sign-extended
+	fpSE16      = 0b011 // halfword sign-extended
+	fpHalfZero  = 0b100 // halfword padded with a zero halfword
+	fpTwoHalfSE = 0b101 // two halfwords, each a byte sign-extended
+	fpRaw       = 0b111 // uncompressed word
+
+	fpZeroRunLenBits = 3
+	fpMaxZeroRun     = 1 << fpZeroRunLenBits // up to 8 zero words per code
+)
+
+func signExtend(v uint32, fromBits uint) uint32 {
+	shift := 32 - fromBits
+	return uint32(int32(v<<shift) >> shift)
+}
+
+func se8to16(b uint32) uint32 {
+	return uint32(uint16(int16(int8(uint8(b)))))
+}
+
+// fpPattern describes one non-zero-run row of the Fig. 5 table.
+type fpPattern struct {
+	prefix   uint32
+	dataBits int
+	// encode extracts the adjunct data field from the word — the field is
+	// taken verbatim from the word, so approximation error can only enter
+	// through bits *outside* the field that the mask declares don't-care.
+	encode func(w value.Word) uint32
+	decode func(data uint32) value.Word
+}
+
+// fpPatterns is ordered by priority: the encoder always matches the
+// highest-priority (smallest encoding) pattern first, which is the source
+// of the paper's §5.3.1 observation that FP-VAXX may take an approximate
+// high-priority match even when an exact lower-priority match exists.
+var fpPatterns = []fpPattern{
+	{
+		prefix: fpSE4, dataBits: 4,
+		encode: func(w value.Word) uint32 { return w & 0xF },
+		decode: func(d uint32) value.Word { return signExtend(d, 4) },
+	},
+	{
+		prefix: fpSE8, dataBits: 8,
+		encode: func(w value.Word) uint32 { return w & 0xFF },
+		decode: func(d uint32) value.Word { return signExtend(d, 8) },
+	},
+	{
+		prefix: fpSE16, dataBits: 16,
+		encode: func(w value.Word) uint32 { return w & 0xFFFF },
+		decode: func(d uint32) value.Word { return signExtend(d, 16) },
+	},
+	{
+		prefix: fpHalfZero, dataBits: 16,
+		encode: func(w value.Word) uint32 { return w >> 16 },
+		decode: func(d uint32) value.Word { return d << 16 },
+	},
+	{
+		prefix: fpTwoHalfSE, dataBits: 16,
+		encode: func(w value.Word) uint32 { return (w >> 8 & 0xFF00) | (w & 0xFF) },
+		decode: func(d uint32) value.Word { return se8to16(d>>8)<<16 | se8to16(d&0xFF) },
+	},
+}
+
+// fpMatch tries pattern p against word w under a don't-care mask: the
+// decoder-side reconstruction must agree with w on every unmasked bit.
+// mask == 0 gives exact FP-COMP matching.
+func fpMatch(p fpPattern, w value.Word, mask uint32) (data uint32, decoded value.Word, ok bool) {
+	data = p.encode(w)
+	decoded = p.decode(data)
+	if (w^decoded)&^mask == 0 {
+		return data, decoded, true
+	}
+	return 0, 0, false
+}
+
+// fpCodec implements FP-COMP, and FP-VAXX when avcl is non-nil. The
+// budget gates every approximate match: per-word for the paper's shipped
+// design, windowed-cumulative for the §7 future-work extension.
+type fpCodec struct {
+	scheme Scheme
+	avcl   *approx.AVCL
+	budget quality.Budget
+	stats  OpStats
+}
+
+// NewFPComp returns the exact frequent-pattern codec.
+func NewFPComp() Codec { return &fpCodec{scheme: FPComp} }
+
+// NewFPVaxx returns the FP-VAXX codec with the given error threshold (%).
+func NewFPVaxx(thresholdPct int) (Codec, error) {
+	a, err := approx.New(thresholdPct)
+	if err != nil {
+		return nil, err
+	}
+	b, err := quality.NewPerWord(thresholdPct)
+	if err != nil {
+		return nil, err
+	}
+	return &fpCodec{scheme: FPVaxx, avcl: a, budget: b}, nil
+}
+
+// NewFPVaxxWindowed returns FP-VAXX with the paper's future-work window
+// policy (§7): masks are computed at boost times the threshold, and a
+// cumulative budget of window x threshold gates the total error, keeping
+// the mean window error at the per-word level while admitting more
+// matches.
+func NewFPVaxxWindowed(thresholdPct, window int, boost float64) (Codec, error) {
+	boosted := int(float64(thresholdPct) * boost)
+	if boosted > 100 {
+		boosted = 100
+	}
+	a, err := approx.New(boosted)
+	if err != nil {
+		return nil, err
+	}
+	b, err := quality.NewWindow(thresholdPct, window, boost)
+	if err != nil {
+		return nil, err
+	}
+	return &fpCodec{scheme: FPVaxx, avcl: a, budget: b}, nil
+}
+
+func (c *fpCodec) Scheme() Scheme { return c.scheme }
+
+// SetThreshold adjusts the error threshold at run time (§3.1: the
+// compiler/firmware "can be dynamically adjusted at run time"). FP-VAXX
+// is stateless across blocks, so the change takes effect on the next
+// compressed block. FP-COMP (exact) rejects adjustment.
+func (c *fpCodec) SetThreshold(thresholdPct int) error {
+	if c.scheme != FPVaxx {
+		return fmt.Errorf("compress: %v has no error threshold", c.scheme)
+	}
+	a, err := approx.New(thresholdPct)
+	if err != nil {
+		return err
+	}
+	b, err := quality.NewPerWord(thresholdPct)
+	if err != nil {
+		return err
+	}
+	c.avcl, c.budget = a, b
+	return nil
+}
+
+// wordMask returns the don't-care mask the AVCL computes for this word, or
+// 0 for exact matching (non-VAXX codec, non-approximable block, special
+// floats).
+func (c *fpCodec) wordMask(w value.Word, blk *value.Block) uint32 {
+	if c.avcl == nil || !blk.Approximable {
+		return 0
+	}
+	mask, ok := c.avcl.MaskWord(w, blk.DType)
+	if !ok {
+		return 0
+	}
+	return mask
+}
+
+func (c *fpCodec) Compress(dst int, blk *value.Block) *Encoded {
+	w := &bitWriter{}
+	words := make([]WordEnc, 0, len(blk.Words))
+	c.stats.BlocksIn++
+	c.stats.WordsIn += uint64(len(blk.Words))
+	c.stats.BitsIn += uint64(32 * len(blk.Words))
+
+	i := 0
+	for i < len(blk.Words) {
+		word := blk.Words[i]
+		mask := c.wordMask(word, blk)
+		c.stats.EncodeOps++
+		c.stats.CamSearches++ // one parallel PMT search per word
+
+		// Zero run: highest-priority row. A word joins the run when all its
+		// unmasked bits are zero and the error budget admits the rounding.
+		if word&^mask == 0 {
+			run := 0
+			var runWords []WordEnc
+			for i < len(blk.Words) && run < fpMaxZeroRun {
+				zw := blk.Words[i]
+				zm := c.wordMask(zw, blk)
+				ok, kind := c.zeroMatch(zw, zm, blk.DType)
+				if !ok {
+					break
+				}
+				if c.budget != nil {
+					c.budget.Advance()
+				}
+				runWords = append(runWords, WordEnc{Kind: kind, Orig: zw, Decoded: 0})
+				run++
+				i++
+			}
+			if run > 0 {
+				w.WriteBits(fpZeroRun, fpPrefixBits)
+				w.WriteBits(uint32(run-1), fpZeroRunLenBits)
+				bitsPerWord := (fpPrefixBits + fpZeroRunLenBits + run - 1) / run
+				for j := range runWords {
+					runWords[j].Bits = bitsPerWord
+					c.recordWord(&runWords[j], blk.DType)
+				}
+				words = append(words, runWords...)
+				continue
+			}
+			// The structural zero match was refused by the error budget;
+			// fall through to the regular pattern rows.
+		}
+
+		enc := c.encodeWord(word, mask, blk.DType)
+		if c.budget != nil {
+			c.budget.Advance()
+		}
+		switch enc.Kind {
+		case RawWord:
+			w.WriteBits(fpRaw, fpPrefixBits)
+			w.WriteBits(word, 32)
+		default:
+			p := fpPatternByPrefix(enc.prefix)
+			w.WriteBits(enc.prefix, fpPrefixBits)
+			w.WriteBits(enc.data, p.dataBits)
+		}
+		c.recordWord(&enc.WordEnc, blk.DType)
+		words = append(words, enc.WordEnc)
+		i++
+	}
+
+	c.stats.BitsOut += uint64(w.Len())
+	return &Encoded{
+		Scheme:       c.scheme,
+		NumWords:     len(blk.Words),
+		DType:        blk.DType,
+		Approximable: blk.Approximable,
+		Bits:         w.Len(),
+		Payload:      w.Bytes(),
+		Words:        words,
+	}
+}
+
+type fpWordEnc struct {
+	WordEnc
+	prefix uint32
+	data   uint32
+}
+
+// encodeWord matches one nonzero word against the pattern table in
+// priority order, with the online error check guarding approximate hits.
+func (c *fpCodec) encodeWord(word value.Word, mask uint32, dt value.DataType) fpWordEnc {
+	for _, p := range fpPatterns {
+		data, decoded, ok := fpMatch(p, word, mask)
+		if !ok {
+			continue
+		}
+		kind := ExactWord
+		if decoded != word {
+			// Approximate hit: the error control logic verifies the final
+			// deviation against the budget before committing (§3.2; the
+			// windowed budget is the §7 extension).
+			if c.budget == nil || !c.budget.Allow(value.RelError(word, decoded, dt)) {
+				continue
+			}
+			kind = ApproxWord
+		}
+		return fpWordEnc{
+			WordEnc: WordEnc{Kind: kind, Bits: fpPrefixBits + p.dataBits, Orig: word, Decoded: decoded},
+			prefix:  p.prefix,
+			data:    data,
+		}
+	}
+	return fpWordEnc{
+		WordEnc: WordEnc{Kind: RawWord, Bits: fpPrefixBits + 32, Orig: word, Decoded: word},
+	}
+}
+
+// zeroMatch decides whether a word may join a zero run: exact zeros
+// always may; structurally-zero approximations (all unmasked bits zero)
+// additionally need the error budget's consent.
+func (c *fpCodec) zeroMatch(w value.Word, mask uint32, dt value.DataType) (ok bool, kind WordKind) {
+	if w == 0 {
+		return true, ExactWord
+	}
+	if w&^mask != 0 {
+		return false, RawWord
+	}
+	if c.budget == nil || !c.budget.Allow(value.RelError(w, 0, dt)) {
+		return false, RawWord
+	}
+	return true, ApproxWord
+}
+
+func (c *fpCodec) recordWord(we *WordEnc, dt value.DataType) {
+	switch we.Kind {
+	case RawWord:
+		c.stats.WordsRaw++
+	case ExactWord:
+		c.stats.WordsExact++
+	case ApproxWord:
+		c.stats.WordsApprox++
+		c.stats.SumRelError += value.RelError(we.Orig, we.Decoded, dt)
+	}
+}
+
+func fpPatternByPrefix(prefix uint32) fpPattern {
+	p, ok := fpPatternLookup(prefix)
+	if !ok {
+		panic("compress: unknown frequent-pattern prefix")
+	}
+	return p
+}
+
+func fpPatternLookup(prefix uint32) (fpPattern, bool) {
+	for _, p := range fpPatterns {
+		if p.prefix == prefix {
+			return p, true
+		}
+	}
+	return fpPattern{}, false
+}
+
+func (c *fpCodec) Decompress(src int, enc *Encoded) (*value.Block, []Notification) {
+	r := newBitReader(enc.Payload)
+	blk := value.NewBlock(0, enc.DType, enc.Approximable)
+	blk.Words = make([]value.Word, 0, enc.NumWords)
+	for len(blk.Words) < enc.NumWords && !r.Failed() {
+		c.stats.DecodeOps++
+		prefix := r.ReadBits(fpPrefixBits)
+		switch prefix {
+		case fpZeroRun:
+			run := int(r.ReadBits(fpZeroRunLenBits)) + 1
+			for j := 0; j < run && len(blk.Words) < enc.NumWords; j++ {
+				blk.Words = append(blk.Words, 0)
+			}
+		case fpRaw:
+			blk.Words = append(blk.Words, r.ReadBits(32))
+		default:
+			p, ok := fpPatternLookup(prefix)
+			if !ok {
+				// Damaged payload (prefix 110 is unused): stop decoding;
+				// the remaining words stay zero.
+				blk.Words = blk.Words[:cap(blk.Words)]
+				return blk, nil
+			}
+			data := r.ReadBits(p.dataBits)
+			blk.Words = append(blk.Words, p.decode(data))
+		}
+	}
+	c.stats.BlocksDecoded++
+	c.stats.WordsDecoded += uint64(len(blk.Words))
+	return blk, nil
+}
+
+func (c *fpCodec) HandleNotification(Notification) []Notification { return nil }
+
+func (c *fpCodec) Stats() OpStats {
+	s := c.stats
+	if c.avcl != nil {
+		// Fold AVCL op counts in for the power model.
+		s.EncodeOps += c.avcl.Stats().RangeComputes
+	}
+	return s
+}

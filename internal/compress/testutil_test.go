@@ -1,0 +1,7 @@
+package compress
+
+import "approxnoc/internal/sim"
+
+// testRand returns a deterministic generator for table-free randomized
+// tests in this package.
+func testRand() *sim.Rand { return sim.NewRand(0xC0FFEE) }

@@ -1,0 +1,177 @@
+// Package experiments contains one driver per table and figure of the
+// paper's evaluation (§5), plus the ablations DESIGN.md calls out. Each
+// driver returns typed rows; the cmd/approxnoc-bench tool renders them.
+package experiments
+
+import (
+	"fmt"
+
+	"approxnoc/internal/compress"
+	"approxnoc/internal/noc"
+	"approxnoc/internal/power"
+	"approxnoc/internal/topology"
+	"approxnoc/internal/traffic"
+	"approxnoc/internal/workload"
+)
+
+// Config controls the scale of every experiment.
+type Config struct {
+	// Width, Height, Concentration describe the mesh (Table 1: 4x4
+	// concentrated mesh; with 2 tiles per router it hosts 32 nodes).
+	Width, Height, Concentration int
+	// Cycles is the injection window per run. The paper simulates 100M
+	// cycles; the default here is sized for interactive runs and can be
+	// raised from the CLI.
+	Cycles int
+	// ErrorThreshold is the default VAXX threshold in percent (Table 1: 10).
+	ErrorThreshold int
+	// ApproxRatio is the fraction of approximable data packets (Table 1: 0.75).
+	ApproxRatio float64
+	// Seed drives all randomness.
+	Seed uint64
+	// NoDrain skips the post-injection drain: latency is then measured
+	// over delivered packets only, the steady-state methodology the
+	// Fig. 12 load sweeps use (saturated points are flagged, not drained).
+	NoDrain bool
+	// NoC carries the router parameters.
+	NoC noc.Config
+}
+
+// Default returns the Table 1 experiment configuration at interactive
+// scale.
+func Default() Config {
+	return Config{
+		Width: 4, Height: 4, Concentration: 2,
+		Cycles:         30000,
+		ErrorThreshold: 10,
+		ApproxRatio:    0.75,
+		Seed:           1,
+		NoC:            noc.DefaultConfig(),
+	}
+}
+
+// RunMetrics bundles the outputs of one trace replay.
+type RunMetrics struct {
+	Benchmark string
+	Scheme    compress.Scheme
+	Net       noc.NetStats
+	Codec     compress.OpStats
+	Power     noc.PowerEvents
+	// DynPowerMW is dynamic power under the 45 nm model at 2 GHz.
+	DynPowerMW float64
+}
+
+// runTrace replays one benchmark's traffic under one scheme and returns
+// the collected metrics. dict overrides the dictionary parameters when
+// non-nil (PMT ablation).
+func runTrace(cfg Config, model workload.Model, scheme compress.Scheme, threshold int, approxRatio float64, dict *compress.DictConfig) (RunMetrics, error) {
+	tcfg, _ := traceConfig(cfg, model, scheme, approxRatio)
+	return runTraceDict(cfg, model, scheme, threshold, tcfg, dict)
+}
+
+// traceConfig assembles the Fig. 9-style bursty benchmark replay traffic.
+func traceConfig(cfg Config, model workload.Model, scheme compress.Scheme, approxRatio float64) (traffic.Config, *workload.Source) {
+	src := model.NewSource(cfg.Seed*1000003+7, approxRatio)
+	// Model.InjectionRate is a per-tile packet probability; the injector
+	// takes offered flits/cycle/tile, so scale by the mean uncompressed
+	// packet size.
+	blockFlits := float64(1 + 64/cfg.NoC.FlitBytes)
+	avgFlits := model.DataRatio*blockFlits + (1 - model.DataRatio)
+	return traffic.Config{
+		Pattern:   traffic.UniformRandom,
+		FlitRate:  model.InjectionRate * avgFlits,
+		DataRatio: model.DataRatio,
+		Source:    src,
+		Seed:      cfg.Seed*7919 + uint64(scheme),
+		Bursty:    true,
+		BurstLen:  model.BurstLen,
+		BurstGap:  model.BurstGap,
+	}, src
+}
+
+// runTraceWith replays a benchmark under an explicit traffic configuration
+// (the Fig. 12 synthetic sweeps).
+func runTraceWith(cfg Config, model workload.Model, scheme compress.Scheme, threshold int, src *workload.Source, tcfg traffic.Config) (RunMetrics, error) {
+	tcfg.Source = src
+	return runTraceDict(cfg, model, scheme, threshold, tcfg, nil)
+}
+
+func runTraceDict(cfg Config, model workload.Model, scheme compress.Scheme, threshold int, tcfg traffic.Config, dict *compress.DictConfig) (RunMetrics, error) {
+	topo, err := topology.NewCMesh(cfg.Width, cfg.Height, cfg.Concentration)
+	if err != nil {
+		return RunMetrics{}, err
+	}
+	dcfg := compress.DefaultDictConfig(topo.Tiles())
+	if dict != nil {
+		dcfg = *dict
+		dcfg.Nodes = topo.Tiles()
+	}
+	factory, err := compress.FactoryWithDict(scheme, dcfg, threshold)
+	if err != nil {
+		return RunMetrics{}, err
+	}
+	return runTraceFactory(cfg, model, scheme, tcfg, factory)
+}
+
+// runTraceFactory is the lowest-level runner: an explicit codec factory
+// (used by the windowed-budget ablation).
+func runTraceFactory(cfg Config, model workload.Model, scheme compress.Scheme, tcfg traffic.Config, factory func(int) compress.Codec) (RunMetrics, error) {
+	topo, err := topology.NewCMesh(cfg.Width, cfg.Height, cfg.Concentration)
+	if err != nil {
+		return RunMetrics{}, err
+	}
+	net, err := noc.New(topo, cfg.NoC, factory)
+	if err != nil {
+		return RunMetrics{}, err
+	}
+	inj, err := traffic.New(net, tcfg)
+	if err != nil {
+		return RunMetrics{}, err
+	}
+	res := traffic.Run(net, inj, cfg.Cycles, !cfg.NoDrain)
+	em := power.Default45nm()
+	return RunMetrics{
+		Benchmark:  model.Name,
+		Scheme:     scheme,
+		Net:        res.Stats,
+		Codec:      net.CodecStats(),
+		Power:      net.Power(),
+		DynPowerMW: em.DynamicPowerMW(net.Power(), net.CodecStats(), res.Stats.Cycles, 2),
+	}, nil
+}
+
+// schemesUnderTest returns the five evaluated mechanisms.
+func schemesUnderTest() []compress.Scheme { return compress.AllSchemes() }
+
+// vaxxFamily names the two tightly-coupled families of Fig. 13/14.
+type vaxxFamily struct {
+	name  string
+	exact compress.Scheme
+	vaxx  compress.Scheme
+}
+
+func families() []vaxxFamily {
+	return []vaxxFamily{
+		{name: "DI-based", exact: compress.DIComp, vaxx: compress.DIVaxx},
+		{name: "FP-based", exact: compress.FPComp, vaxx: compress.FPVaxx},
+	}
+}
+
+// Table1 describes the simulated system configuration.
+func Table1(cfg Config) string {
+	t := fmt.Sprintf("%dx%d 2D concentrated-mesh (%d tiles)", cfg.Width, cfg.Height,
+		cfg.Width*cfg.Height*cfg.Concentration)
+	return fmt.Sprintf(`APPROX-NoC Simulation Configuration (Table 1)
+  System      32 out-of-order cores at 2GHz (modelled by workload traces)
+              32KB L1I$ / 64KB L1D$ 2-way, 2MB L2$, MOESI-style substrate
+  NoC         %s
+              2GHz three-stage routers, %d virtual channels (%d-flit buffers)
+              %d-bit flits, wormhole switching, XY routing
+  Error threshold     5%%, %d%% (default), 20%%
+  Approximable ratio  25%%, 50%%, %d%% (default)
+  Dictionary          %d-entry PMTs
+  Codec latency       %d-cycle compression, %d-cycle decompression`,
+		t, cfg.NoC.VCs, cfg.NoC.BufDepth, cfg.NoC.FlitBytes*8,
+		cfg.ErrorThreshold, int(cfg.ApproxRatio*100), 8,
+		cfg.NoC.CompressLatency, cfg.NoC.DecompressLatency)
+}

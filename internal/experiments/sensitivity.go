@@ -1,0 +1,408 @@
+package experiments
+
+import (
+	"approxnoc/internal/compress"
+	"approxnoc/internal/workload"
+)
+
+// Fig13Row is one bar group of Fig. 13: packet latency of a VAXX family at
+// each error threshold, with the exact-compression bar as reference.
+type Fig13Row struct {
+	Benchmark    string
+	Family       string // "DI-based" or "FP-based"
+	ExactLat     float64
+	ThresholdLat map[int]float64
+	// ThresholdQuality records data value quality per threshold — the
+	// §5.3.1 observation that FP-VAXX trades more error for its matches
+	// as the threshold grows.
+	ThresholdQuality map[int]float64
+}
+
+// Fig13 sweeps the error threshold (5/10/20%) for both families.
+func Fig13(cfg Config, thresholds []int) ([]Fig13Row, error) {
+	if len(thresholds) == 0 {
+		thresholds = []int{5, 10, 20}
+	}
+	var rows []Fig13Row
+	for _, model := range workload.Benchmarks() {
+		for _, fam := range families() {
+			row := Fig13Row{Benchmark: model.Name, Family: fam.name,
+				ThresholdLat: map[int]float64{}, ThresholdQuality: map[int]float64{}}
+			m, err := runTrace(cfg, model, fam.exact, 0, cfg.ApproxRatio, nil)
+			if err != nil {
+				return nil, err
+			}
+			row.ExactLat = m.Net.AvgPacketLatency()
+			for _, th := range thresholds {
+				m, err := runTrace(cfg, model, fam.vaxx, th, cfg.ApproxRatio, nil)
+				if err != nil {
+					return nil, err
+				}
+				row.ThresholdLat[th] = m.Net.AvgPacketLatency()
+				row.ThresholdQuality[th] = m.Codec.DataQuality()
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+// Fig14Row is one bar group of Fig. 14: packet latency at each
+// approximable-packet ratio.
+type Fig14Row struct {
+	Benchmark string
+	Family    string
+	ExactLat  float64
+	RatioLat  map[int]float64 // key: percent approximable
+}
+
+// Fig14 sweeps the approximable data packet ratio (25/50/75%).
+func Fig14(cfg Config, ratios []int) ([]Fig14Row, error) {
+	if len(ratios) == 0 {
+		ratios = []int{25, 50, 75}
+	}
+	var rows []Fig14Row
+	for _, model := range workload.Benchmarks() {
+		for _, fam := range families() {
+			row := Fig14Row{Benchmark: model.Name, Family: fam.name, RatioLat: map[int]float64{}}
+			m, err := runTrace(cfg, model, fam.exact, 0, cfg.ApproxRatio, nil)
+			if err != nil {
+				return nil, err
+			}
+			row.ExactLat = m.Net.AvgPacketLatency()
+			for _, ratio := range ratios {
+				m, err := runTrace(cfg, model, fam.vaxx, cfg.ErrorThreshold, float64(ratio)/100, nil)
+				if err != nil {
+					return nil, err
+				}
+				row.RatioLat[ratio] = m.Net.AvgPacketLatency()
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+// AblationOverlapRow compares the §4.3 latency-hiding optimizations.
+type AblationOverlapRow struct {
+	Benchmark  string
+	Scheme     compress.Scheme
+	LatencyOn  float64
+	LatencyOff float64
+}
+
+// AblationOverlap measures packet latency with the VC-arb overlap and
+// queue-amortization optimizations enabled vs disabled.
+func AblationOverlap(cfg Config, benchmarks []string) ([]AblationOverlapRow, error) {
+	if len(benchmarks) == 0 {
+		benchmarks = []string{"blackscholes", "ssca2"}
+	}
+	var rows []AblationOverlapRow
+	for _, name := range benchmarks {
+		model, err := workload.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		for _, scheme := range []compress.Scheme{compress.DIVaxx, compress.FPVaxx} {
+			on := cfg
+			on.NoC.OverlapVCArb = true
+			on.NoC.OverlapQueueing = true
+			mOn, err := runTrace(on, model, scheme, cfg.ErrorThreshold, cfg.ApproxRatio, nil)
+			if err != nil {
+				return nil, err
+			}
+			off := cfg
+			off.NoC.OverlapVCArb = false
+			off.NoC.OverlapQueueing = false
+			mOff, err := runTrace(off, model, scheme, cfg.ErrorThreshold, cfg.ApproxRatio, nil)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, AblationOverlapRow{
+				Benchmark: name, Scheme: scheme,
+				LatencyOn:  mOn.Net.AvgPacketLatency(),
+				LatencyOff: mOff.Net.AvgPacketLatency(),
+			})
+		}
+	}
+	return rows, nil
+}
+
+// AblationWindowRow compares the shipped per-word error budget against
+// the §7 future-work windowed cumulative budget for FP-VAXX.
+type AblationWindowRow struct {
+	Benchmark  string
+	Mode       string // "per-word" or "windowed"
+	ApproxFrac float64
+	Ratio      float64
+	Quality    float64
+	Latency    float64
+}
+
+// AblationWindow measures how the window-based cumulative error budget
+// changes approximation rate, compression ratio, data quality and packet
+// latency relative to the per-word policy at the same nominal threshold.
+func AblationWindow(cfg Config, benchmarks []string) ([]AblationWindowRow, error) {
+	if len(benchmarks) == 0 {
+		benchmarks = []string{"blackscholes", "x264", "ssca2"}
+	}
+	var rows []AblationWindowRow
+	for _, name := range benchmarks {
+		model, err := workload.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		modes := []struct {
+			mode    string
+			factory func(int) compress.Codec
+		}{
+			{"per-word", func(int) compress.Codec {
+				c, _ := compress.NewFPVaxx(cfg.ErrorThreshold)
+				return c
+			}},
+			{"windowed", func(int) compress.Codec {
+				c, _ := compress.NewFPVaxxWindowed(cfg.ErrorThreshold, 16, 4)
+				return c
+			}},
+		}
+		for _, m := range modes {
+			tcfg, src := traceConfig(cfg, model, compress.FPVaxx, cfg.ApproxRatio)
+			_ = src
+			r, err := runTraceFactory(cfg, model, compress.FPVaxx, tcfg, m.factory)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, AblationWindowRow{
+				Benchmark:  name,
+				Mode:       m.mode,
+				ApproxFrac: r.Codec.ApproxWordFraction(),
+				Ratio:      r.Codec.CompressionRatio(),
+				Quality:    r.Codec.DataQuality(),
+				Latency:    r.Net.AvgPacketLatency(),
+			})
+		}
+	}
+	return rows, nil
+}
+
+// AblationRouterRow reports latency across router buffer provisioning.
+type AblationRouterRow struct {
+	Benchmark string
+	Scheme    compress.Scheme
+	VCs       int
+	BufDepth  int
+	Latency   float64
+}
+
+// AblationRouter sweeps virtual channel count and per-VC buffer depth
+// around the Table 1 point (4 VCs, 4-flit buffers), quantifying how much
+// of the compression win the router provisioning could also buy.
+func AblationRouter(cfg Config, benchmarks []string) ([]AblationRouterRow, error) {
+	if len(benchmarks) == 0 {
+		benchmarks = []string{"ssca2"}
+	}
+	points := []struct{ vcs, depth int }{
+		{2, 2}, {2, 4}, {4, 2}, {4, 4}, {4, 8}, {8, 4},
+	}
+	var rows []AblationRouterRow
+	for _, name := range benchmarks {
+		model, err := workload.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		for _, scheme := range []compress.Scheme{compress.Baseline, compress.FPVaxx} {
+			for _, pt := range points {
+				c := cfg
+				c.NoC.VCs = pt.vcs
+				c.NoC.BufDepth = pt.depth
+				m, err := runTrace(c, model, scheme, cfg.ErrorThreshold, cfg.ApproxRatio, nil)
+				if err != nil {
+					return nil, err
+				}
+				rows = append(rows, AblationRouterRow{
+					Benchmark: name, Scheme: scheme,
+					VCs: pt.vcs, BufDepth: pt.depth,
+					Latency: m.Net.AvgPacketLatency(),
+				})
+			}
+		}
+	}
+	return rows, nil
+}
+
+// AblationMatchUnitsRow reports latency as the number of parallel
+// matching units varies (§4.3 provisions 8).
+type AblationMatchUnitsRow struct {
+	Benchmark string
+	Scheme    compress.Scheme
+	Units     int
+	Latency   float64
+}
+
+// AblationMatchUnits sweeps the parallel matching unit count, with the
+// queueing overlap disabled so the compression latency is visible.
+func AblationMatchUnits(cfg Config, benchmarks []string, units []int) ([]AblationMatchUnitsRow, error) {
+	if len(benchmarks) == 0 {
+		benchmarks = []string{"ssca2"}
+	}
+	if len(units) == 0 {
+		units = []int{1, 2, 4, 8, 16}
+	}
+	var rows []AblationMatchUnitsRow
+	for _, name := range benchmarks {
+		model, err := workload.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		for _, scheme := range []compress.Scheme{compress.DIVaxx, compress.FPVaxx} {
+			for _, u := range units {
+				c := cfg
+				c.NoC.MatchUnits = u
+				c.NoC.OverlapQueueing = false
+				m, err := runTrace(c, model, scheme, cfg.ErrorThreshold, cfg.ApproxRatio, nil)
+				if err != nil {
+					return nil, err
+				}
+				rows = append(rows, AblationMatchUnitsRow{
+					Benchmark: name, Scheme: scheme, Units: u,
+					Latency: m.Net.AvgPacketLatency(),
+				})
+			}
+		}
+	}
+	return rows, nil
+}
+
+// ExtensionBDIRow compares the paper's schemes against the base-delta
+// comparator (related work [36]) and its VAXX integration on one
+// benchmark — evidence for the §3.2 claim that VAXX is plug-and-play
+// over any underlying compression mechanism.
+type ExtensionBDIRow struct {
+	Benchmark string
+	Scheme    compress.Scheme
+	Latency   float64
+	Ratio     float64
+	Quality   float64
+}
+
+// ExtensionBDI runs all seven schemes (five evaluated + two base-delta)
+// on the given benchmarks.
+func ExtensionBDI(cfg Config, benchmarks []string) ([]ExtensionBDIRow, error) {
+	if len(benchmarks) == 0 {
+		benchmarks = []string{"canneal", "ssca2"}
+	}
+	var rows []ExtensionBDIRow
+	for _, name := range benchmarks {
+		model, err := workload.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		for _, scheme := range compress.ExtendedSchemes() {
+			m, err := runTrace(cfg, model, scheme, cfg.ErrorThreshold, cfg.ApproxRatio, nil)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, ExtensionBDIRow{
+				Benchmark: name, Scheme: scheme,
+				Latency: m.Net.AvgPacketLatency(),
+				Ratio:   m.Codec.CompressionRatio(),
+				Quality: m.Codec.DataQuality(),
+			})
+		}
+	}
+	return rows, nil
+}
+
+// AblationAdaptiveRow compares a scheme with and without the Jin et al.
+// adaptive on/off controller.
+type AblationAdaptiveRow struct {
+	Benchmark       string
+	Scheme          compress.Scheme
+	LatencyPlain    float64
+	LatencyAdaptive float64
+}
+
+// AblationAdaptive measures the effect of adaptively bypassing the codec
+// when compression is not paying off. The gain shows on workloads with
+// poorly compressible phases.
+func AblationAdaptive(cfg Config, benchmarks []string) ([]AblationAdaptiveRow, error) {
+	if len(benchmarks) == 0 {
+		benchmarks = []string{"streamcluster", "ssca2"}
+	}
+	var rows []AblationAdaptiveRow
+	for _, name := range benchmarks {
+		model, err := workload.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		for _, scheme := range []compress.Scheme{compress.DIVaxx, compress.FPVaxx} {
+			plain, err := runTrace(cfg, model, scheme, cfg.ErrorThreshold, cfg.ApproxRatio, nil)
+			if err != nil {
+				return nil, err
+			}
+			tcfg, _ := traceConfig(cfg, model, scheme, cfg.ApproxRatio)
+			inner, err := compress.FactoryFor(scheme, cfg.Width*cfg.Height*cfg.Concentration, cfg.ErrorThreshold)
+			if err != nil {
+				return nil, err
+			}
+			factory := func(node int) compress.Codec {
+				a, err := compress.NewAdaptive(inner(node), compress.DefaultAdaptiveConfig())
+				if err != nil {
+					panic(err)
+				}
+				return a
+			}
+			adaptive, err := runTraceFactory(cfg, model, scheme, tcfg, factory)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, AblationAdaptiveRow{
+				Benchmark:       name,
+				Scheme:          scheme,
+				LatencyPlain:    plain.Net.AvgPacketLatency(),
+				LatencyAdaptive: adaptive.Net.AvgPacketLatency(),
+			})
+		}
+	}
+	return rows, nil
+}
+
+// AblationPMTRow reports DI-VAXX behaviour across PMT sizes.
+type AblationPMTRow struct {
+	Benchmark string
+	Entries   int
+	Latency   float64
+	Ratio     float64
+}
+
+// AblationPMT sweeps the dictionary PMT size (the paper fixes 8 entries;
+// this quantifies that choice).
+func AblationPMT(cfg Config, benchmarks []string, sizes []int) ([]AblationPMTRow, error) {
+	if len(benchmarks) == 0 {
+		benchmarks = []string{"ssca2"}
+	}
+	if len(sizes) == 0 {
+		sizes = []int{4, 8, 16, 32}
+	}
+	var rows []AblationPMTRow
+	for _, name := range benchmarks {
+		model, err := workload.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		for _, size := range sizes {
+			dict := compress.DefaultDictConfig(1) // Nodes fixed up by runner
+			dict.Entries = size
+			m, err := runTrace(cfg, model, compress.DIVaxx, cfg.ErrorThreshold, cfg.ApproxRatio, &dict)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, AblationPMTRow{
+				Benchmark: name, Entries: size,
+				Latency: m.Net.AvgPacketLatency(),
+				Ratio:   m.Codec.CompressionRatio(),
+			})
+		}
+	}
+	return rows, nil
+}

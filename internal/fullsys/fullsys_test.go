@@ -1,0 +1,122 @@
+package fullsys
+
+import (
+	"testing"
+
+	"approxnoc/internal/compress"
+	"approxnoc/internal/value"
+)
+
+func TestRemoteMissRoundTrip(t *testing.T) {
+	s, err := New(DefaultConfig(compress.Baseline, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache := s.Cache()
+	if cache.Cores() != 16 {
+		t.Fatalf("%d cores", cache.Cores())
+	}
+	addr, err := cache.Alloc(256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache.StoreI32(0, addr, 424242)
+	// A read from a different core misses and crosses the network.
+	if got := cache.LoadI32(9, addr); got != 424242 {
+		t.Fatalf("remote read %d", got)
+	}
+	if s.RoundTrips() == 0 {
+		t.Fatal("no network round trips recorded")
+	}
+	if s.StallCycles() == 0 {
+		t.Fatal("no stall cycles recorded")
+	}
+	// Roughly two one-way trips of ~15 cycles each per miss.
+	perMiss := float64(s.StallCycles()) / float64(s.RoundTrips())
+	if perMiss < 10 || perMiss > 120 {
+		t.Fatalf("stall per miss %.1f cycles implausible", perMiss)
+	}
+}
+
+func TestApproximationThroughRealNetwork(t *testing.T) {
+	s, err := New(DefaultConfig(compress.FPVaxx, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache := s.Cache()
+	arr, err := cache.AllocF32(256, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < arr.Len(); i++ {
+		arr.Set(0, i, 1000*(1+0.001*float32(i)))
+	}
+	worst := 0.0
+	for i := 0; i < arr.Len(); i++ {
+		got := arr.Get(1+(i%15), i)
+		want := 1000 * (1 + 0.001*float32(i))
+		e := value.RelError(value.F32(want), value.F32(got), value.Float32)
+		if e > worst {
+			worst = e
+		}
+	}
+	if worst == 0 {
+		t.Fatal("no approximation happened through the network")
+	}
+	if worst > 0.10+1e-6 {
+		t.Fatalf("worst error %g exceeds threshold", worst)
+	}
+	if s.CodecStats().WordsApprox == 0 {
+		t.Fatal("codec stats show no approximation")
+	}
+}
+
+func TestRuntimeGrowsWithMisses(t *testing.T) {
+	s, _ := New(DefaultConfig(compress.Baseline, 0))
+	cache := s.Cache()
+	addr, _ := cache.Alloc(64 * 64)
+	before := s.Runtime()
+	for i := 0; i < 64; i++ {
+		cache.LoadI32(i%16, addr+uint32(64*i))
+	}
+	if s.Runtime() <= before {
+		t.Fatal("runtime did not grow")
+	}
+}
+
+func TestCompressionReducesMeasuredStalls(t *testing.T) {
+	run := func(scheme compress.Scheme) float64 {
+		s, err := New(DefaultConfig(scheme, 10))
+		if err != nil {
+			t.Fatal(err)
+		}
+		cache := s.Cache()
+		arr, _ := cache.AllocI32(2048, true)
+		for i := 0; i < arr.Len(); i++ {
+			arr.Set(0, i, int32(i%4)) // highly compressible
+		}
+		for pass := 0; pass < 2; pass++ {
+			for i := 0; i < arr.Len(); i++ {
+				arr.Get(1+(i+pass)%15, i)
+			}
+		}
+		return float64(s.StallCycles()) / float64(s.RoundTrips())
+	}
+	base := run(compress.Baseline)
+	fp := run(compress.FPVaxx)
+	if fp >= base {
+		t.Fatalf("FP-VAXX stall/miss %.1f not below baseline %.1f", fp, base)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	cfg := DefaultConfig(compress.Baseline, 0)
+	cfg.Width = 0
+	if _, err := New(cfg); err == nil {
+		t.Fatal("zero width accepted")
+	}
+	cfg = DefaultConfig(compress.DIVaxx, 500)
+	if _, err := New(cfg); err == nil {
+		t.Fatal("bogus threshold accepted")
+	}
+}

@@ -1,0 +1,46 @@
+package noc
+
+import (
+	"testing"
+
+	"approxnoc/internal/compress"
+	"approxnoc/internal/sim"
+	"approxnoc/internal/workload"
+)
+
+// Two identically-seeded simulations must produce identical statistics —
+// the property every recorded experiment number relies on.
+func TestSimulationDeterminism(t *testing.T) {
+	run := func() (NetStats, compress.OpStats) {
+		n := schemeNet(t, 4, 4, 2, compress.DIVaxx, 10)
+		m, _ := workload.ByName("ssca2")
+		src := m.NewSource(11, 0.75)
+		r := sim.NewRand(99)
+		for cycle := 0; cycle < 2500; cycle++ {
+			for tile := 0; tile < 32; tile++ {
+				if r.Bool(0.03) {
+					dst := r.Intn(32)
+					if dst == tile {
+						continue
+					}
+					if r.Bool(0.5) {
+						n.SendData(tile, dst, src.NextBlock())
+					} else {
+						n.SendControl(tile, dst)
+					}
+				}
+			}
+			n.Step()
+		}
+		n.Drain(100000)
+		return n.Stats(), n.CodecStats()
+	}
+	s1, c1 := run()
+	s2, c2 := run()
+	if s1 != s2 {
+		t.Fatalf("network stats diverged:\n%+v\n%+v", s1, s2)
+	}
+	if c1 != c2 {
+		t.Fatalf("codec stats diverged:\n%+v\n%+v", c1, c2)
+	}
+}

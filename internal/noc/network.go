@@ -1,0 +1,290 @@
+package noc
+
+import (
+	"fmt"
+
+	"approxnoc/internal/compress"
+	"approxnoc/internal/sim"
+	"approxnoc/internal/topology"
+	"approxnoc/internal/value"
+)
+
+// stagedFlit is a flit in link traversal, landing next cycle.
+type stagedFlit struct {
+	router int
+	port   topology.Direction
+	vc     int
+	flit   *Flit
+}
+
+// stagedCredit is a credit in flight back to an upstream output VC.
+type stagedCredit struct {
+	router int
+	port   topology.Direction
+	vc     int
+}
+
+// stagedNICredit is a credit in flight back to an NI's local-port pool.
+type stagedNICredit struct {
+	tile int
+	vc   int
+}
+
+// Network is the assembled cycle-accurate NoC: routers, links and NIs with
+// their per-node codecs.
+type Network struct {
+	topo  *topology.Topology
+	cfg   Config
+	clock sim.Clock
+
+	routers []*router
+	nis     []*NI
+
+	flitStage     []stagedFlit
+	creditStage   []stagedCredit
+	niCreditStage []stagedNICredit
+
+	seq          map[uint64]uint64
+	nextPacketID uint64
+	inFlight     int
+
+	stats      NetStats
+	power      PowerEvents
+	statsEpoch sim.Cycle
+
+	onDeliver []func(p *Packet, blk *value.Block)
+}
+
+// New assembles a network over topo where every tile's NI uses the codec
+// produced by codecFactory.
+func New(topo *topology.Topology, cfg Config, codecFactory func(node int) compress.Codec) (*Network, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if topo == nil {
+		return nil, fmt.Errorf("noc: nil topology")
+	}
+	n := &Network{
+		topo: topo,
+		cfg:  cfg,
+		seq:  make(map[uint64]uint64),
+	}
+	n.routers = make([]*router, topo.Routers())
+	for i := range n.routers {
+		n.routers[i] = newRouter(i, n)
+	}
+	n.nis = make([]*NI, topo.Tiles())
+	for i := range n.nis {
+		n.nis[i] = newNI(n, i, codecFactory(i))
+	}
+	return n, nil
+}
+
+// Topology returns the network's topology.
+func (n *Network) Topology() *topology.Topology { return n.topo }
+
+// Config returns the network configuration.
+func (n *Network) Config() Config { return n.cfg }
+
+// Now returns the current simulation cycle.
+func (n *Network) Now() sim.Cycle { return n.clock.Now() }
+
+// NI returns the network interface of a tile.
+func (n *Network) NI(tile int) *NI { return n.nis[tile] }
+
+// SetDeliveryHandler registers a callback invoked for every delivered
+// packet, replacing any previously registered handlers; blk is the
+// decompressed block for data packets, nil otherwise.
+func (n *Network) SetDeliveryHandler(h func(p *Packet, blk *value.Block)) {
+	n.onDeliver = []func(p *Packet, blk *value.Block){h}
+}
+
+// AddDeliveryHandler registers an additional delivery callback, keeping
+// the existing ones (traffic generators chain onto user handlers).
+func (n *Network) AddDeliveryHandler(h func(p *Packet, blk *value.Block)) {
+	n.onDeliver = append(n.onDeliver, h)
+}
+
+// notifyDelivery fans a delivery out to every registered handler.
+func (n *Network) notifyDelivery(p *Packet, blk *value.Block) {
+	for _, h := range n.onDeliver {
+		h(p, blk)
+	}
+}
+
+func (n *Network) newPacket(src, dst int, kind PacketKind, now sim.Cycle) *Packet {
+	key := uint64(src)<<32 | uint64(uint32(dst))
+	p := &Packet{
+		ID:        n.nextPacketID,
+		Src:       src,
+		Dst:       dst,
+		Kind:      kind,
+		Seq:       n.seq[key],
+		CreatedAt: now,
+	}
+	n.seq[key] = p.Seq + 1
+	n.nextPacketID++
+	n.stats.PacketsSent++
+	n.inFlight++
+	return p
+}
+
+// SendData queues a cache block from src to dst and returns its packet.
+func (n *Network) SendData(src, dst int, blk *value.Block) (*Packet, error) {
+	if err := n.checkPair(src, dst); err != nil {
+		return nil, err
+	}
+	return n.nis[src].enqueueData(dst, blk, n.clock.Now()), nil
+}
+
+// SendControl queues a single-flit control packet from src to dst.
+func (n *Network) SendControl(src, dst int) (*Packet, error) {
+	if err := n.checkPair(src, dst); err != nil {
+		return nil, err
+	}
+	return n.nis[src].enqueueControl(dst, n.clock.Now()), nil
+}
+
+func (n *Network) checkPair(src, dst int) error {
+	t := n.topo.Tiles()
+	if src < 0 || src >= t || dst < 0 || dst >= t {
+		return fmt.Errorf("noc: tile pair (%d,%d) outside [0,%d)", src, dst, t)
+	}
+	if src == dst {
+		return fmt.Errorf("noc: self-addressed packet at tile %d", src)
+	}
+	return nil
+}
+
+// Step advances the simulation one cycle.
+func (n *Network) Step() {
+	now := n.clock.Now()
+
+	// Arrivals staged last cycle land first (link/credit delay = 1).
+	for _, s := range n.flitStage {
+		n.routers[s.router].acceptFlit(s.port, s.vc, s.flit)
+	}
+	n.flitStage = n.flitStage[:0]
+	for _, c := range n.creditStage {
+		n.routers[c.router].out[c.port][c.vc].credits++
+	}
+	n.creditStage = n.creditStage[:0]
+	for _, c := range n.niCreditStage {
+		n.nis[c.tile].credits[c.vc]++
+	}
+	n.niCreditStage = n.niCreditStage[:0]
+
+	// Router pipeline, processed back to front so a flit moves through one
+	// stage per cycle.
+	for _, r := range n.routers {
+		r.stageSA()
+	}
+	for _, r := range n.routers {
+		r.stageVA()
+	}
+	for _, r := range n.routers {
+		r.stageRC()
+	}
+
+	// NIs inject and complete decodes.
+	for _, ni := range n.nis {
+		ni.inject(now)
+	}
+	for _, ni := range n.nis {
+		ni.processDeliveries(now)
+	}
+
+	n.clock.Tick()
+}
+
+// Run advances the simulation by the given number of cycles.
+func (n *Network) Run(cycles int) {
+	for i := 0; i < cycles; i++ {
+		n.Step()
+	}
+}
+
+// Drain runs until every queued and in-flight packet is delivered, or
+// maxCycles elapse. It reports whether the network fully drained.
+func (n *Network) Drain(maxCycles int) bool {
+	for i := 0; i < maxCycles; i++ {
+		if n.Quiescent() {
+			return true
+		}
+		n.Step()
+	}
+	return n.Quiescent()
+}
+
+// Quiescent reports whether no packets, flits, or in-flight credits
+// remain anywhere in the network.
+func (n *Network) Quiescent() bool {
+	if n.inFlight != 0 || len(n.flitStage) != 0 {
+		return false
+	}
+	if len(n.creditStage) != 0 || len(n.niCreditStage) != 0 {
+		return false
+	}
+	for _, ni := range n.nis {
+		if ni.pendingWork() {
+			return false
+		}
+	}
+	for _, r := range n.routers {
+		if r.bufferedFlits() != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// InFlight returns the number of packets sent but not yet delivered.
+func (n *Network) InFlight() int { return n.inFlight }
+
+// Stats returns a snapshot of network statistics with Cycles filled in
+// (cycles since the last ResetStats).
+func (n *Network) Stats() NetStats {
+	s := n.stats
+	s.Cycles = uint64(n.clock.Now() - n.statsEpoch)
+	return s
+}
+
+// ResetStats zeroes the statistics and power counters without touching
+// network state — the warmup/measurement methodology: run the warmup,
+// reset, then measure the steady state. In-flight packets continue and
+// will be recorded on delivery.
+func (n *Network) ResetStats() {
+	n.stats = NetStats{}
+	// Packets already in flight will still be recorded on delivery; count
+	// them as sent in the new epoch so sent >= delivered always holds.
+	n.stats.PacketsSent = uint64(n.inFlight)
+	n.power = PowerEvents{}
+	n.statsEpoch = n.clock.Now()
+}
+
+// Power returns the accumulated microarchitectural event counts.
+func (n *Network) Power() PowerEvents { return n.power }
+
+// CodecStats aggregates codec operation counts across all NIs.
+func (n *Network) CodecStats() compress.OpStats {
+	var s compress.OpStats
+	for _, ni := range n.nis {
+		s.Add(ni.codec.Stats())
+	}
+	return s
+}
+
+// stageFlit schedules a flit to arrive at a router input next cycle.
+func (n *Network) stageFlit(router int, port topology.Direction, vc int, f *Flit) {
+	n.flitStage = append(n.flitStage, stagedFlit{router: router, port: port, vc: vc, flit: f})
+}
+
+// stageCredit schedules a credit return to a router output next cycle.
+func (n *Network) stageCredit(router int, port topology.Direction, vc int) {
+	n.creditStage = append(n.creditStage, stagedCredit{router: router, port: port, vc: vc})
+}
+
+// stageNICredit schedules a credit return to an NI next cycle.
+func (n *Network) stageNICredit(tile, vc int) {
+	n.niCreditStage = append(n.niCreditStage, stagedNICredit{tile: tile, vc: vc})
+}

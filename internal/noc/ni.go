@@ -1,0 +1,260 @@
+package noc
+
+import (
+	"approxnoc/internal/compress"
+	"approxnoc/internal/sim"
+	"approxnoc/internal/value"
+)
+
+// delivery is a packet in the NI's post-ejection decode pipeline.
+type delivery struct {
+	p       *Packet
+	readyAt sim.Cycle
+}
+
+// NI is a network interface: it packetizes and compresses departing
+// traffic, fragments packets into flits, injects them into its router's
+// local port, and on the receive side assembles flits, enforces
+// per-(source,destination) ordering, and decompresses data packets.
+type NI struct {
+	net   *Network
+	tile  int
+	codec compress.Codec
+
+	// Injection side.
+	queue   []*Packet
+	cur     *Packet
+	curFl   []*Flit
+	curIdx  int
+	curVC   int
+	credits []int
+	nextVC  int
+
+	// Ejection side.
+	expected map[int]uint64             // per source: next sequence number
+	reorder  map[int]map[uint64]*Packet // ejected ahead of sequence
+	deliverQ [][]delivery               // per source in-order decode FIFO
+}
+
+func newNI(net *Network, tile int, codec compress.Codec) *NI {
+	ni := &NI{
+		net:      net,
+		tile:     tile,
+		codec:    codec,
+		curVC:    -1,
+		credits:  make([]int, net.cfg.VCs),
+		expected: make(map[int]uint64),
+		reorder:  make(map[int]map[uint64]*Packet),
+		deliverQ: make([][]delivery, net.topo.Tiles()),
+	}
+	for v := range ni.credits {
+		ni.credits[v] = net.cfg.BufDepth
+	}
+	return ni
+}
+
+// Codec exposes the node's compression engine.
+func (ni *NI) Codec() compress.Codec { return ni.codec }
+
+// QueueLen returns the injection queue occupancy (including the packet
+// currently streaming flits).
+func (ni *NI) QueueLen() int {
+	n := len(ni.queue)
+	if ni.cur != nil {
+		n++
+	}
+	return n
+}
+
+// enqueueData packetizes and compresses a cache block bound for dst.
+// Compression happens at enqueue: the NI queue is FIFO and delivery is
+// per-pair in-order, so dictionary state seen by the encoder stays
+// consistent with what the decoder will hold at decode time.
+func (ni *NI) enqueueData(dst int, blk *value.Block, now sim.Cycle) *Packet {
+	enc := ni.codec.Compress(dst, blk)
+	p := ni.net.newPacket(ni.tile, dst, DataPacket, now)
+	p.Enc = enc
+	p.Flits = ni.net.cfg.dataPacketFlits(enc.PayloadBytes())
+	p.ReadyAt = now
+	if enc.Scheme != compress.Baseline {
+		if ni.net.cfg.OverlapQueueing {
+			p.ReadyAt = now + sim.Cycle(ni.net.cfg.effectiveCompressLatencyFor(enc.NumWords))
+		} else {
+			p.ReadyAt = 0 // assigned when the packet reaches the queue head
+		}
+	}
+	ni.queue = append(ni.queue, p)
+	return p
+}
+
+// enqueueControl queues a single-flit control packet.
+func (ni *NI) enqueueControl(dst int, now sim.Cycle) *Packet {
+	p := ni.net.newPacket(ni.tile, dst, ControlPacket, now)
+	p.Flits = 1
+	p.ReadyAt = now
+	ni.queue = append(ni.queue, p)
+	return p
+}
+
+// enqueueNotif queues a dictionary protocol message as a single-flit
+// control packet.
+func (ni *NI) enqueueNotif(n compress.Notification, now sim.Cycle) *Packet {
+	p := ni.net.newPacket(ni.tile, n.To, NotifPacket, now)
+	notif := n
+	p.Notif = &notif
+	p.Flits = 1
+	p.ReadyAt = now
+	ni.queue = append(ni.queue, p)
+	return p
+}
+
+// inject pushes at most one flit per cycle into the router's local input
+// port, subject to credits.
+func (ni *NI) inject(now sim.Cycle) {
+	if ni.cur == nil {
+		if len(ni.queue) == 0 {
+			return
+		}
+		head := ni.queue[0]
+		if head.ReadyAt == 0 && head.Kind == DataPacket && head.Enc.Scheme != compress.Baseline {
+			// OverlapQueueing off: compression starts at the queue head.
+			head.ReadyAt = now + sim.Cycle(ni.net.cfg.effectiveCompressLatencyFor(head.Enc.NumWords))
+		}
+		if head.ReadyAt > now {
+			return
+		}
+		ni.queue = ni.queue[1:]
+		ni.cur = head
+		ni.curFl = flitsOf(head)
+		ni.curIdx = 0
+		ni.curVC = -1
+	}
+	if ni.curVC < 0 {
+		for i := 0; i < ni.net.cfg.VCs; i++ {
+			v := (ni.nextVC + i) % ni.net.cfg.VCs
+			if ni.credits[v] > 0 {
+				ni.curVC = v
+				ni.nextVC = (v + 1) % ni.net.cfg.VCs
+				break
+			}
+		}
+		if ni.curVC < 0 {
+			return // no credits on any VC
+		}
+	}
+	if ni.credits[ni.curVC] == 0 {
+		return
+	}
+	f := ni.curFl[ni.curIdx]
+	ni.credits[ni.curVC]--
+	if ni.curIdx == 0 {
+		ni.cur.InjectedAt = now
+	}
+	ni.net.stats.FlitsInjected++
+	if ni.cur.Kind == DataPacket {
+		ni.net.stats.DataFlitsInjected++
+	}
+	router := ni.net.topo.RouterOf(ni.tile)
+	port := ni.net.topo.LocalPortOf(ni.tile)
+	ni.net.stageFlit(router, port, ni.curVC, f)
+	ni.curIdx++
+	if ni.curIdx == len(ni.curFl) {
+		ni.cur, ni.curFl, ni.curVC = nil, nil, -1
+	}
+}
+
+// receiveFlit accepts an ejected flit from the router. Tail arrival
+// completes the packet and enters it into the ordered decode pipeline.
+func (ni *NI) receiveFlit(f *Flit) {
+	ni.net.stats.FlitsEjected++
+	if !f.IsTail() {
+		return
+	}
+	now := ni.net.clock.Now()
+	p := f.Packet
+	p.EjectedAt = now
+	src := p.Src
+	if _, ok := ni.reorder[src]; !ok {
+		ni.reorder[src] = make(map[uint64]*Packet)
+	}
+	ni.reorder[src][p.Seq] = p
+	// Release every in-sequence packet into the decode FIFO.
+	for {
+		next, ok := ni.reorder[src][ni.expected[src]]
+		if !ok {
+			break
+		}
+		delete(ni.reorder[src], ni.expected[src])
+		ni.expected[src]++
+		ni.deliverQ[src] = append(ni.deliverQ[src], delivery{
+			p:       next,
+			readyAt: now + ni.decodeLatency(next),
+		})
+	}
+}
+
+func (ni *NI) decodeLatency(p *Packet) sim.Cycle {
+	// Keyed off the packet's own scheme, not the codec's: the adaptive
+	// controller emits baseline-form packets when compression is off, and
+	// those need no decode stage.
+	if p.Kind == DataPacket && p.Enc.Scheme != compress.Baseline {
+		return sim.Cycle(ni.net.cfg.DecompressLatency)
+	}
+	return 0
+}
+
+// processDeliveries completes decodes whose latency elapsed, preserving
+// per-source order. Sources are visited in index order so the simulation
+// stays deterministic.
+func (ni *NI) processDeliveries(now sim.Cycle) {
+	for src := range ni.deliverQ {
+		q := ni.deliverQ[src]
+		n := 0
+		for n < len(q) && q[n].readyAt <= now {
+			ni.deliver(q[n].p, now)
+			n++
+		}
+		if n > 0 {
+			ni.deliverQ[src] = q[n:]
+		}
+	}
+}
+
+func (ni *NI) deliver(p *Packet, now sim.Cycle) {
+	p.DeliveredAt = now
+	ni.net.stats.recordDelivery(p)
+	ni.net.inFlight--
+	switch p.Kind {
+	case DataPacket:
+		blk, notifs := ni.codec.Decompress(p.Src, p.Enc)
+		for _, n := range notifs {
+			ni.enqueueNotif(n, now)
+		}
+		ni.net.notifyDelivery(p, blk)
+	case NotifPacket:
+		for _, reply := range ni.codec.HandleNotification(*p.Notif) {
+			ni.enqueueNotif(reply, now)
+		}
+		ni.net.notifyDelivery(p, nil)
+	default:
+		ni.net.notifyDelivery(p, nil)
+	}
+}
+
+// pendingWork reports whether the NI still holds undelivered state.
+func (ni *NI) pendingWork() bool {
+	if len(ni.queue) > 0 || ni.cur != nil {
+		return true
+	}
+	for _, m := range ni.reorder {
+		if len(m) > 0 {
+			return true
+		}
+	}
+	for _, q := range ni.deliverQ {
+		if len(q) > 0 {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,220 @@
+package noc
+
+import (
+	"approxnoc/internal/topology"
+)
+
+// vcState tracks the input-VC control FSM.
+type vcState uint8
+
+const (
+	vcIdle    vcState = iota // waiting for a head flit
+	vcRouting                // route computed, awaiting VC allocation
+	vcActive                 // output VC allocated; flits may cross
+)
+
+// inputVC is one virtual-channel buffer on an input port.
+type inputVC struct {
+	buf     []*Flit
+	state   vcState
+	outPort topology.Direction
+	outVC   int
+}
+
+func (v *inputVC) front() *Flit {
+	if len(v.buf) == 0 {
+		return nil
+	}
+	return v.buf[0]
+}
+
+// outputVC tracks downstream credits and wormhole ownership for one
+// (output port, VC) pair.
+type outputVC struct {
+	credits  int
+	infinite bool // ejection ports: the NI sinks flits every cycle
+	owned    bool // allocated to an in-flight packet
+}
+
+func (o *outputVC) hasCredit() bool { return o.infinite || o.credits > 0 }
+
+// router is a canonical three-stage VC router: route computation and VC
+// allocation in stage 1 (consecutive cycles for a given head flit), switch
+// allocation in stage 2, switch + link traversal in stage 3. Per hop a
+// flit therefore spends three cycles uncontended.
+type router struct {
+	id    int
+	net   *Network
+	ports int
+	in    [][]*inputVC  // [port][vc]
+	out   [][]*outputVC // [port][vc]
+	saRR  []int         // per output port: round-robin pointer over input (port*VCs+vc)
+	vaRR  [][]int       // per output port, per VC: round-robin pointer over inputs
+	// saInputBusy marks input ports that already sent a flit this cycle
+	// (one crossbar input per port per cycle).
+	saInputBusy []bool
+}
+
+func newRouter(id int, net *Network) *router {
+	ports := net.topo.Ports()
+	r := &router{
+		id:          id,
+		net:         net,
+		ports:       ports,
+		in:          make([][]*inputVC, ports),
+		out:         make([][]*outputVC, ports),
+		saRR:        make([]int, ports),
+		vaRR:        make([][]int, ports),
+		saInputBusy: make([]bool, ports),
+	}
+	for p := 0; p < ports; p++ {
+		r.in[p] = make([]*inputVC, net.cfg.VCs)
+		r.out[p] = make([]*outputVC, net.cfg.VCs)
+		r.vaRR[p] = make([]int, net.cfg.VCs)
+		isEjection := topology.Direction(p) >= topology.Local
+		for v := 0; v < net.cfg.VCs; v++ {
+			r.in[p][v] = &inputVC{}
+			r.out[p][v] = &outputVC{credits: net.cfg.BufDepth, infinite: isEjection}
+		}
+	}
+	return r
+}
+
+// acceptFlit places an arriving flit into an input buffer (buffer write).
+func (r *router) acceptFlit(port topology.Direction, vc int, f *Flit) {
+	ivc := r.in[port][vc]
+	if len(ivc.buf) >= r.net.cfg.BufDepth {
+		panic("noc: input buffer overflow — credit protocol violated")
+	}
+	ivc.buf = append(ivc.buf, f)
+	r.net.power.BufferWrites++
+}
+
+// stageSA performs switch allocation and traversal: one flit per output
+// port and per input port per cycle.
+func (r *router) stageSA() {
+	for p := range r.saInputBusy {
+		r.saInputBusy[p] = false
+	}
+	nvc := r.net.cfg.VCs
+	total := r.ports * nvc
+	for op := 0; op < r.ports; op++ {
+		start := r.saRR[op]
+		for k := 0; k < total; k++ {
+			slot := (start + k) % total
+			ip, iv := slot/nvc, slot%nvc
+			if r.saInputBusy[ip] {
+				continue
+			}
+			ivc := r.in[ip][iv]
+			f := ivc.front()
+			if f == nil || ivc.state != vcActive || int(ivc.outPort) != op {
+				continue
+			}
+			ovc := r.out[op][ivc.outVC]
+			if !ovc.hasCredit() {
+				continue
+			}
+			// Grant: pop and traverse.
+			ivc.buf = ivc.buf[1:]
+			r.saInputBusy[ip] = true
+			r.saRR[op] = (slot + 1) % total
+			r.net.power.BufferReads++
+			r.net.power.XbarTraversals++
+			r.net.power.SwitchAllocs++
+			r.forward(topology.Direction(ip), iv, topology.Direction(op), ivc.outVC, f)
+			if f.IsTail() {
+				ovc.owned = false
+				ivc.state = vcIdle
+			}
+			break // one flit per output port per cycle
+		}
+	}
+}
+
+// forward moves a granted flit out of the router: onto the link toward the
+// neighbour, or into the local NI on an ejection port. It also returns a
+// credit upstream for the freed buffer slot.
+func (r *router) forward(ip topology.Direction, iv int, op topology.Direction, ov int, f *Flit) {
+	net := r.net
+	// Credit for the freed input slot goes back where the flit came from.
+	if ip >= topology.Local {
+		net.stageNICredit(net.topo.TileAt(r.id, ip), iv)
+	} else if up, ok := net.topo.Neighbor(r.id, ip); ok {
+		net.stageCredit(up, ip.Opposite(), iv)
+	}
+	if op >= topology.Local {
+		tile := net.topo.TileAt(r.id, op)
+		net.nis[tile].receiveFlit(f)
+		return
+	}
+	next, ok := net.topo.Neighbor(r.id, op)
+	if !ok {
+		panic("noc: route led off the mesh")
+	}
+	r.out[op][ov].credits--
+	net.power.LinkTraversals++
+	net.stageFlit(next, op.Opposite(), ov, f)
+}
+
+// stageVA allocates free output VCs to input VCs in the routing state,
+// separable with per-(port,vc) round-robin priority.
+func (r *router) stageVA() {
+	nvc := r.net.cfg.VCs
+	granted := make(map[*inputVC]bool)
+	for op := 0; op < r.ports; op++ {
+		for ov := 0; ov < nvc; ov++ {
+			ovc := r.out[op][ov]
+			if ovc.owned {
+				continue
+			}
+			start := r.vaRR[op][ov]
+			total := r.ports * nvc
+			for k := 0; k < total; k++ {
+				slot := (start + k) % total
+				ip, iv := slot/nvc, slot%nvc
+				ivc := r.in[ip][iv]
+				if ivc.state != vcRouting || int(ivc.outPort) != op || granted[ivc] {
+					continue
+				}
+				ivc.outVC = ov
+				ivc.state = vcActive
+				ovc.owned = true
+				granted[ivc] = true
+				r.vaRR[op][ov] = (slot + 1) % total
+				r.net.power.VCAllocs++
+				break
+			}
+		}
+	}
+}
+
+// stageRC computes the output port for head flits at the front of idle
+// input VCs.
+func (r *router) stageRC() {
+	for ip := 0; ip < r.ports; ip++ {
+		for iv := 0; iv < r.net.cfg.VCs; iv++ {
+			ivc := r.in[ip][iv]
+			if ivc.state != vcIdle {
+				continue
+			}
+			f := ivc.front()
+			if f == nil || !f.IsHead() {
+				continue
+			}
+			ivc.outPort = r.net.topo.Route(r.id, f.Packet.Dst)
+			ivc.state = vcRouting
+		}
+	}
+}
+
+// bufferedFlits counts flits resident in the router, for drain detection.
+func (r *router) bufferedFlits() int {
+	n := 0
+	for _, port := range r.in {
+		for _, v := range port {
+			n += len(v.buf)
+		}
+	}
+	return n
+}

@@ -1,0 +1,130 @@
+package quality
+
+import "testing"
+
+func TestNewPerWordValidation(t *testing.T) {
+	if _, err := NewPerWord(-1); err == nil {
+		t.Fatal("negative threshold accepted")
+	}
+	if _, err := NewPerWord(101); err == nil {
+		t.Fatal("oversized threshold accepted")
+	}
+	p, err := NewPerWord(10)
+	if err != nil || p.Threshold() != 0.10 {
+		t.Fatalf("threshold %v err %v", p.Threshold(), err)
+	}
+}
+
+func TestPerWordAllow(t *testing.T) {
+	p, _ := NewPerWord(10)
+	if !p.Allow(0.05) || !p.Allow(0.10) {
+		t.Fatal("in-bound error rejected")
+	}
+	if p.Allow(0.11) {
+		t.Fatal("out-of-bound error accepted")
+	}
+	// Stateless: repeated allows never exhaust anything.
+	for i := 0; i < 100; i++ {
+		if !p.Allow(0.10) {
+			t.Fatal("per-word budget exhausted")
+		}
+		p.Advance()
+	}
+}
+
+func TestNewWindowValidation(t *testing.T) {
+	if _, err := NewWindow(10, 0, 2); err == nil {
+		t.Fatal("zero window accepted")
+	}
+	if _, err := NewWindow(10, 16, 0.5); err == nil {
+		t.Fatal("boost < 1 accepted")
+	}
+	if _, err := NewWindow(200, 16, 2); err == nil {
+		t.Fatal("bad threshold accepted")
+	}
+}
+
+func TestWindowCumulativeBudget(t *testing.T) {
+	// 10% threshold, window 4 -> total budget 0.40, word cap 0.20 (boost 2).
+	w, err := NewWindow(10, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !w.Allow(0.20) { // within boosted cap
+		t.Fatal("boosted word rejected")
+	}
+	if w.Allow(0.25) { // above word cap
+		t.Fatal("over-cap word accepted")
+	}
+	if !w.Allow(0.15) {
+		t.Fatal("second word rejected with budget left")
+	}
+	// Spent 0.35; budget 0.40: 0.10 no longer fits.
+	if w.Allow(0.10) {
+		t.Fatal("budget overrun accepted")
+	}
+	if !w.Allow(0.05) {
+		t.Fatal("exact-fit spend rejected")
+	}
+	if s := w.Spent(); s < 0.40-1e-9 || s > 0.40+1e-9 {
+		t.Fatalf("spent %g", s)
+	}
+}
+
+func TestWindowRollsOver(t *testing.T) {
+	w, _ := NewWindow(10, 2, 2)
+	if !w.Allow(0.2) {
+		t.Fatal("initial spend rejected")
+	}
+	w.Advance()
+	w.Advance() // window of 2 complete -> reset
+	if w.Spent() != 0 {
+		t.Fatalf("window did not reset: spent %g", w.Spent())
+	}
+	if !w.Allow(0.2) {
+		t.Fatal("fresh window rejected spend")
+	}
+}
+
+// The windowed policy's invariant: over any window, mean error stays at
+// or below the per-word threshold.
+func TestWindowMeanErrorInvariant(t *testing.T) {
+	w, _ := NewWindow(10, 8, 4)
+	spentTotal, words := 0.0, 0
+	for i := 0; i < 1000; i++ {
+		e := float64(i%7) * 0.08
+		if w.Allow(e) {
+			spentTotal += e
+		}
+		w.Advance()
+		words++
+	}
+	if mean := spentTotal / float64(words); mean > 0.10+1e-9 {
+		t.Fatalf("mean window error %g exceeds threshold", mean)
+	}
+}
+
+func TestWindowAdmitsMoreThanPerWord(t *testing.T) {
+	// Errors of 15% fail a 10% per-word policy but fit a windowed policy
+	// that saved budget on exact words.
+	p, _ := NewPerWord(10)
+	w, _ := NewWindow(10, 4, 2)
+	errs := []float64{0, 0, 0.15, 0.15}
+	pAllowed, wAllowed := 0, 0
+	for _, e := range errs {
+		if e > 0 && p.Allow(e) {
+			pAllowed++
+		}
+		p.Advance()
+		if e > 0 && w.Allow(e) {
+			wAllowed++
+		}
+		w.Advance()
+	}
+	if pAllowed != 0 {
+		t.Fatal("per-word accepted 15% errors")
+	}
+	if wAllowed != 2 {
+		t.Fatalf("window accepted %d of 2 slack-funded errors", wAllowed)
+	}
+}

@@ -1,0 +1,19 @@
+package sim
+
+// Cycle is a simulation timestamp in router clock cycles.
+type Cycle uint64
+
+// Clock is the global cycle counter for a cycle-driven simulation. All
+// components advance in lockstep; the clock only moves via Tick.
+type Clock struct {
+	now Cycle
+}
+
+// Now returns the current cycle.
+func (c *Clock) Now() Cycle { return c.now }
+
+// Tick advances the clock by one cycle.
+func (c *Clock) Tick() { c.now++ }
+
+// Reset rewinds the clock to cycle zero.
+func (c *Clock) Reset() { c.now = 0 }

@@ -1,0 +1,188 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewRandDeterministic(t *testing.T) {
+	a := NewRand(42)
+	b := NewRand(42)
+	for i := 0; i < 1000; i++ {
+		if av, bv := a.Uint64(), b.Uint64(); av != bv {
+			t.Fatalf("draw %d: %d != %d", i, av, bv)
+		}
+	}
+}
+
+func TestNewRandSeedsDiffer(t *testing.T) {
+	a := NewRand(1)
+	b := NewRand(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("streams from different seeds collided %d/100 times", same)
+	}
+}
+
+func TestZeroSeedUsable(t *testing.T) {
+	r := NewRand(0)
+	if r.s == [4]uint64{} {
+		t.Fatal("zero seed produced all-zero state")
+	}
+	// xoshiro from an all-zero state would return 0 forever.
+	zeros := 0
+	for i := 0; i < 64; i++ {
+		if r.Uint64() == 0 {
+			zeros++
+		}
+	}
+	if zeros > 1 {
+		t.Fatalf("got %d zero draws in 64", zeros)
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	r := NewRand(7)
+	for _, n := range []int{1, 2, 3, 10, 1 << 20} {
+		for i := 0; i < 200; i++ {
+			v := r.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for Intn(0)")
+		}
+	}()
+	NewRand(1).Intn(0)
+}
+
+func TestIntnUniformity(t *testing.T) {
+	r := NewRand(99)
+	const n, draws = 8, 80000
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		counts[r.Intn(n)]++
+	}
+	expect := float64(draws) / n
+	for i, c := range counts {
+		if math.Abs(float64(c)-expect) > 0.05*expect {
+			t.Fatalf("bucket %d count %d deviates >5%% from %g", i, c, expect)
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := NewRand(3)
+	sum := 0.0
+	const draws = 50000
+	for i := 0; i < draws; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %g", f)
+		}
+		sum += f
+	}
+	if mean := sum / draws; math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("mean %g far from 0.5", mean)
+	}
+}
+
+func TestNormFloat64Moments(t *testing.T) {
+	r := NewRand(11)
+	const draws = 100000
+	var sum, sumsq float64
+	for i := 0; i < draws; i++ {
+		v := r.NormFloat64()
+		sum += v
+		sumsq += v * v
+	}
+	mean := sum / draws
+	variance := sumsq/draws - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Fatalf("normal mean %g too far from 0", mean)
+	}
+	if math.Abs(variance-1) > 0.05 {
+		t.Fatalf("normal variance %g too far from 1", variance)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := NewRand(5)
+	for _, n := range []int{0, 1, 2, 17, 100} {
+		p := r.Perm(n)
+		if len(p) != n {
+			t.Fatalf("Perm(%d) len %d", n, len(p))
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				t.Fatalf("Perm(%d) invalid: %v", n, p)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestMul128AgainstBigProperty(t *testing.T) {
+	f := func(a, b uint64) bool {
+		hi, lo := mul128(a, b)
+		// Verify low 64 bits via wrapping multiply and the identity
+		// hi = floor(a*b / 2^64) using per-part accumulation.
+		if lo != a*b {
+			return false
+		}
+		a0, a1 := a&0xFFFFFFFF, a>>32
+		b0, b1 := b&0xFFFFFFFF, b>>32
+		mid := a1*b0 + (a0*b0)>>32
+		mid2 := a0*b1 + (mid & 0xFFFFFFFF)
+		wantHi := a1*b1 + (mid >> 32) + (mid2 >> 32)
+		return hi == wantHi
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClock(t *testing.T) {
+	var c Clock
+	if c.Now() != 0 {
+		t.Fatal("fresh clock not at zero")
+	}
+	for i := 0; i < 10; i++ {
+		c.Tick()
+	}
+	if c.Now() != 10 {
+		t.Fatalf("clock at %d after 10 ticks", c.Now())
+	}
+	c.Reset()
+	if c.Now() != 0 {
+		t.Fatal("reset did not rewind clock")
+	}
+}
+
+func TestBoolProbability(t *testing.T) {
+	r := NewRand(21)
+	const draws = 50000
+	hits := 0
+	for i := 0; i < draws; i++ {
+		if r.Bool(0.25) {
+			hits++
+		}
+	}
+	got := float64(hits) / draws
+	if math.Abs(got-0.25) > 0.01 {
+		t.Fatalf("Bool(0.25) frequency %g", got)
+	}
+}

@@ -1,0 +1,271 @@
+// Package tcam models the content-addressable memories APPROX-NoC builds
+// its pattern matching tables (PMTs) from: a binary CAM for exact pattern
+// lookups (FP-COMP priority matching, DI-COMP decoder tables) and a ternary
+// CAM whose entries carry don't-care masks, used by the DI-VAXX encoder to
+// match a value against approximate reference patterns in a single search
+// (paper §4.2.1, Fig. 8).
+//
+// The models are behavioural, not electrical: they reproduce single-cycle
+// parallel search semantics, entry replacement, and per-operation event
+// counts that the power model converts to energy.
+package tcam
+
+// Stats counts the operations a CAM/TCAM performed, for the energy model.
+type Stats struct {
+	Searches uint64 // parallel compare of all entries against a key
+	Hits     uint64
+	Writes   uint64 // entry installs or in-place updates
+}
+
+// CAM is a binary content-addressable memory with frequency-weighted
+// replacement. Entries are 32-bit patterns; the zero-size CAM matches
+// nothing and accepts nothing.
+type CAM struct {
+	size    int
+	valid   []bool
+	pattern []uint32
+	freq    []uint64
+	stats   Stats
+}
+
+// NewCAM returns a CAM with capacity size.
+func NewCAM(size int) *CAM {
+	if size < 0 {
+		panic("tcam: negative CAM size")
+	}
+	return &CAM{
+		size:    size,
+		valid:   make([]bool, size),
+		pattern: make([]uint32, size),
+		freq:    make([]uint64, size),
+	}
+}
+
+// Size returns the entry capacity.
+func (c *CAM) Size() int { return c.size }
+
+// Stats returns the operation counters accumulated so far.
+func (c *CAM) Stats() Stats { return c.stats }
+
+// Lookup searches every entry in parallel for pattern and returns the
+// matching index. A hit bumps the entry's frequency counter.
+func (c *CAM) Lookup(pattern uint32) (idx int, ok bool) {
+	c.stats.Searches++
+	for i := 0; i < c.size; i++ {
+		if c.valid[i] && c.pattern[i] == pattern {
+			c.freq[i]++
+			c.stats.Hits++
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+// Peek is Lookup without touching frequency or stats — for assertions.
+func (c *CAM) Peek(pattern uint32) (idx int, ok bool) {
+	for i := 0; i < c.size; i++ {
+		if c.valid[i] && c.pattern[i] == pattern {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+// Insert places pattern into the CAM and returns the index it landed in and
+// the entry that was evicted, if any. If the pattern is already present its
+// frequency is refreshed instead. Replacement victim is the lowest-frequency
+// valid entry (ties: lowest index), modelling the frequency-counter-driven
+// replacement of the paper's PMTs.
+func (c *CAM) Insert(pattern uint32) (idx int, evicted uint32, hadEviction bool) {
+	if c.size == 0 {
+		return 0, 0, false
+	}
+	if i, ok := c.Peek(pattern); ok {
+		c.freq[i]++
+		c.stats.Writes++
+		return i, 0, false
+	}
+	slot := c.victim()
+	if c.valid[slot] {
+		evicted, hadEviction = c.pattern[slot], true
+	}
+	c.valid[slot] = true
+	c.pattern[slot] = pattern
+	c.freq[slot] = 1
+	c.stats.Writes++
+	return slot, evicted, hadEviction
+}
+
+func (c *CAM) victim() int {
+	slot, best := 0, ^uint64(0)
+	for i := 0; i < c.size; i++ {
+		if !c.valid[i] {
+			return i
+		}
+		if c.freq[i] < best {
+			best, slot = c.freq[i], i
+		}
+	}
+	return slot
+}
+
+// InvalidateIndex clears one entry.
+func (c *CAM) InvalidateIndex(i int) {
+	if i >= 0 && i < c.size {
+		c.valid[i] = false
+		c.freq[i] = 0
+	}
+}
+
+// PatternAt returns the pattern stored at index i.
+func (c *CAM) PatternAt(i int) (uint32, bool) {
+	if i < 0 || i >= c.size || !c.valid[i] {
+		return 0, false
+	}
+	return c.pattern[i], true
+}
+
+// Entries returns the number of valid entries.
+func (c *CAM) Entries() int {
+	n := 0
+	for _, v := range c.valid {
+		if v {
+			n++
+		}
+	}
+	return n
+}
+
+// TEntry is one ternary entry: a stored value plus a don't-care mask.
+// Mask bits set to 1 are ignored during matching, i.e. the entry
+// represents the pattern family {v : v &^ Mask == Value &^ Mask}.
+type TEntry struct {
+	Value uint32
+	Mask  uint32
+}
+
+// Matches reports whether key falls in the entry's pattern family.
+func (e TEntry) Matches(key uint32) bool {
+	return (key^e.Value)&^e.Mask == 0
+}
+
+// TCAM is a ternary CAM with frequency-weighted replacement. Multiple
+// entries may match a key; search returns the first match in priority
+// (index) order, matching hardware priority encoders.
+type TCAM struct {
+	size  int
+	valid []bool
+	ent   []TEntry
+	freq  []uint64
+	stats Stats
+}
+
+// NewTCAM returns a TCAM with capacity size.
+func NewTCAM(size int) *TCAM {
+	if size < 0 {
+		panic("tcam: negative TCAM size")
+	}
+	return &TCAM{
+		size:  size,
+		valid: make([]bool, size),
+		ent:   make([]TEntry, size),
+		freq:  make([]uint64, size),
+	}
+}
+
+// Size returns the entry capacity.
+func (t *TCAM) Size() int { return t.size }
+
+// Stats returns the operation counters accumulated so far.
+func (t *TCAM) Stats() Stats { return t.stats }
+
+// Search compares key against every entry in parallel and returns the
+// lowest matching index. A hit bumps the entry's frequency counter.
+func (t *TCAM) Search(key uint32) (idx int, ok bool) {
+	t.stats.Searches++
+	for i := 0; i < t.size; i++ {
+		if t.valid[i] && t.ent[i].Matches(key) {
+			t.freq[i]++
+			t.stats.Hits++
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+// PeekExact returns the index of an entry with exactly this value and mask.
+func (t *TCAM) PeekExact(e TEntry) (idx int, ok bool) {
+	for i := 0; i < t.size; i++ {
+		if t.valid[i] && t.ent[i] == e {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+// Insert installs entry e, reusing an identical existing entry if present.
+// Returns the index used, the displaced entry if an eviction happened.
+func (t *TCAM) Insert(e TEntry) (idx int, evicted TEntry, hadEviction bool) {
+	if t.size == 0 {
+		return 0, TEntry{}, false
+	}
+	if i, ok := t.PeekExact(e); ok {
+		t.freq[i]++
+		t.stats.Writes++
+		return i, TEntry{}, false
+	}
+	slot, best := 0, ^uint64(0)
+	found := false
+	for i := 0; i < t.size; i++ {
+		if !t.valid[i] {
+			slot, found = i, true
+			break
+		}
+		if t.freq[i] < best {
+			best, slot = t.freq[i], i
+		}
+	}
+	if !found && t.valid[slot] {
+		evicted, hadEviction = t.ent[slot], true
+	}
+	t.valid[slot] = true
+	t.ent[slot] = e
+	t.freq[slot] = 1
+	t.stats.Writes++
+	return slot, evicted, hadEviction
+}
+
+// InvalidateIndex clears one entry.
+func (t *TCAM) InvalidateIndex(i int) {
+	if i >= 0 && i < t.size {
+		t.valid[i] = false
+		t.freq[i] = 0
+	}
+}
+
+// EntryAt returns the entry stored at index i.
+func (t *TCAM) EntryAt(i int) (TEntry, bool) {
+	if i < 0 || i >= t.size || !t.valid[i] {
+		return TEntry{}, false
+	}
+	return t.ent[i], true
+}
+
+// Entries returns the number of valid entries.
+func (t *TCAM) Entries() int {
+	n := 0
+	for _, v := range t.valid {
+		if v {
+			n++
+		}
+	}
+	return n
+}
+
+// Freq returns the frequency counter of entry i (0 when invalid).
+func (t *TCAM) Freq(i int) uint64 {
+	if i < 0 || i >= t.size || !t.valid[i] {
+		return 0
+	}
+	return t.freq[i]
+}

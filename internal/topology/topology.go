@@ -1,0 +1,170 @@
+// Package topology describes the NoC fabrics the paper evaluates: a 2D
+// mesh and a 2D concentrated mesh (several tiles per router), with
+// dimension-ordered XY routing (Table 1).
+package topology
+
+import "fmt"
+
+// Direction indexes a router port.
+type Direction int
+
+const (
+	// East, West, North, South are the four mesh neighbours.
+	East Direction = iota
+	West
+	North
+	South
+	// Local is the first NI port; concentrated routers have several local
+	// ports at Local, Local+1, ...
+	Local
+)
+
+func (d Direction) String() string {
+	switch d {
+	case East:
+		return "E"
+	case West:
+		return "W"
+	case North:
+		return "N"
+	case South:
+		return "S"
+	default:
+		return fmt.Sprintf("L%d", int(d-Local))
+	}
+}
+
+// Opposite returns the port a flit leaving via d arrives on.
+func (d Direction) Opposite() Direction {
+	switch d {
+	case East:
+		return West
+	case West:
+		return East
+	case North:
+		return South
+	case South:
+		return North
+	default:
+		return d
+	}
+}
+
+// Topology is a routed grid of routers with tiles attached to local ports.
+type Topology struct {
+	Width, Height int
+	Concentration int // tiles per router
+}
+
+// NewMesh returns a width x height 2D mesh with one tile per router.
+func NewMesh(width, height int) (*Topology, error) {
+	return NewCMesh(width, height, 1)
+}
+
+// NewCMesh returns a concentrated mesh with c tiles per router — the
+// paper's 4x4 concentrated mesh hosts 32 cores with c = 2.
+func NewCMesh(width, height, c int) (*Topology, error) {
+	if width <= 0 || height <= 0 || c <= 0 {
+		return nil, fmt.Errorf("topology: invalid dimensions %dx%d c=%d", width, height, c)
+	}
+	return &Topology{Width: width, Height: height, Concentration: c}, nil
+}
+
+// Routers returns the router count.
+func (t *Topology) Routers() int { return t.Width * t.Height }
+
+// Tiles returns the tile (network node) count.
+func (t *Topology) Tiles() int { return t.Routers() * t.Concentration }
+
+// RouterOf maps a tile id to its router id.
+func (t *Topology) RouterOf(tile int) int { return tile / t.Concentration }
+
+// LocalPortOf maps a tile id to its local port on its router.
+func (t *Topology) LocalPortOf(tile int) Direction {
+	return Local + Direction(tile%t.Concentration)
+}
+
+// TileAt inverts RouterOf/LocalPortOf.
+func (t *Topology) TileAt(router int, port Direction) int {
+	return router*t.Concentration + int(port-Local)
+}
+
+// XY returns a router's grid coordinates.
+func (t *Topology) XY(router int) (x, y int) {
+	return router % t.Width, router / t.Width
+}
+
+// RouterAt returns the router id at grid coordinates.
+func (t *Topology) RouterAt(x, y int) int { return y*t.Width + x }
+
+// Ports returns the number of ports per router: 4 mesh directions plus
+// Concentration local ports.
+func (t *Topology) Ports() int { return 4 + t.Concentration }
+
+// Neighbor returns the adjacent router in direction d, or ok=false at the
+// mesh edge or for local ports.
+func (t *Topology) Neighbor(router int, d Direction) (int, bool) {
+	x, y := t.XY(router)
+	switch d {
+	case East:
+		if x+1 < t.Width {
+			return t.RouterAt(x+1, y), true
+		}
+	case West:
+		if x > 0 {
+			return t.RouterAt(x-1, y), true
+		}
+	case North:
+		if y > 0 {
+			return t.RouterAt(x, y-1), true
+		}
+	case South:
+		if y+1 < t.Height {
+			return t.RouterAt(x, y+1), true
+		}
+	}
+	return 0, false
+}
+
+// Route computes the XY (dimension-ordered) output port at router for a
+// flit headed to dstTile: X displacement first, then Y, then the local
+// port. XY routing is deadlock-free on meshes.
+func (t *Topology) Route(router, dstTile int) Direction {
+	dstRouter := t.RouterOf(dstTile)
+	cx, cy := t.XY(router)
+	dx, dy := t.XY(dstRouter)
+	switch {
+	case dx > cx:
+		return East
+	case dx < cx:
+		return West
+	case dy < cy:
+		return North
+	case dy > cy:
+		return South
+	default:
+		return t.LocalPortOf(dstTile)
+	}
+}
+
+// Hops returns the XY hop count between two tiles' routers.
+func (t *Topology) Hops(srcTile, dstTile int) int {
+	sx, sy := t.XY(t.RouterOf(srcTile))
+	dx, dy := t.XY(t.RouterOf(dstTile))
+	return abs(sx-dx) + abs(sy-dy)
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// String describes the topology.
+func (t *Topology) String() string {
+	if t.Concentration == 1 {
+		return fmt.Sprintf("%dx%d mesh", t.Width, t.Height)
+	}
+	return fmt.Sprintf("%dx%d cmesh (c=%d)", t.Width, t.Height, t.Concentration)
+}

@@ -1,0 +1,184 @@
+package topology
+
+import "testing"
+
+func TestNewMeshValidation(t *testing.T) {
+	if _, err := NewMesh(0, 4); err == nil {
+		t.Fatal("accepted zero width")
+	}
+	if _, err := NewCMesh(4, 4, 0); err == nil {
+		t.Fatal("accepted zero concentration")
+	}
+	m, err := NewCMesh(4, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Routers() != 16 || m.Tiles() != 32 || m.Ports() != 6 {
+		t.Fatalf("cmesh sizes: routers=%d tiles=%d ports=%d", m.Routers(), m.Tiles(), m.Ports())
+	}
+}
+
+func TestTileRouterMapping(t *testing.T) {
+	m, _ := NewCMesh(4, 4, 2)
+	for tile := 0; tile < m.Tiles(); tile++ {
+		r := m.RouterOf(tile)
+		p := m.LocalPortOf(tile)
+		if p < Local || int(p-Local) >= m.Concentration {
+			t.Fatalf("tile %d local port %v out of range", tile, p)
+		}
+		if back := m.TileAt(r, p); back != tile {
+			t.Fatalf("tile %d maps to router %d port %v which maps back to %d", tile, r, p, back)
+		}
+	}
+}
+
+func TestXYCoordinatesRoundTrip(t *testing.T) {
+	m, _ := NewMesh(5, 3)
+	for r := 0; r < m.Routers(); r++ {
+		x, y := m.XY(r)
+		if x < 0 || x >= 5 || y < 0 || y >= 3 {
+			t.Fatalf("router %d at (%d,%d)", r, x, y)
+		}
+		if m.RouterAt(x, y) != r {
+			t.Fatalf("router %d coordinate round trip failed", r)
+		}
+	}
+}
+
+func TestNeighborEdges(t *testing.T) {
+	m, _ := NewMesh(3, 3)
+	// Corner 0 has only East and South.
+	if _, ok := m.Neighbor(0, West); ok {
+		t.Fatal("west neighbour at west edge")
+	}
+	if _, ok := m.Neighbor(0, North); ok {
+		t.Fatal("north neighbour at north edge")
+	}
+	if n, ok := m.Neighbor(0, East); !ok || n != 1 {
+		t.Fatalf("east neighbour of 0 = %d, %v", n, ok)
+	}
+	if n, ok := m.Neighbor(0, South); !ok || n != 3 {
+		t.Fatalf("south neighbour of 0 = %d, %v", n, ok)
+	}
+	if _, ok := m.Neighbor(4, Local); ok {
+		t.Fatal("local port has a neighbour")
+	}
+}
+
+func TestNeighborSymmetry(t *testing.T) {
+	m, _ := NewMesh(4, 4)
+	for r := 0; r < m.Routers(); r++ {
+		for _, d := range []Direction{East, West, North, South} {
+			n, ok := m.Neighbor(r, d)
+			if !ok {
+				continue
+			}
+			back, ok2 := m.Neighbor(n, d.Opposite())
+			if !ok2 || back != r {
+				t.Fatalf("neighbour symmetry broken at router %d dir %v", r, d)
+			}
+		}
+	}
+}
+
+func TestRouteXYOrder(t *testing.T) {
+	m, _ := NewMesh(4, 4)
+	// From router 0 (0,0) to tile 15 (3,3): X first.
+	if d := m.Route(0, 15); d != East {
+		t.Fatalf("first hop %v, want East", d)
+	}
+	// From (3,0) to (3,3): Y only.
+	if d := m.Route(3, 15); d != South {
+		t.Fatalf("hop at aligned column %v, want South", d)
+	}
+	// Arrived: local port.
+	if d := m.Route(15, 15); d != Local {
+		t.Fatalf("delivery port %v, want Local", d)
+	}
+}
+
+// Every route must terminate at the destination within Hops() steps —
+// the XY deadlock-freedom/progress property.
+func TestRouteAlwaysReachesDestination(t *testing.T) {
+	m, _ := NewCMesh(4, 4, 2)
+	for src := 0; src < m.Tiles(); src++ {
+		for dst := 0; dst < m.Tiles(); dst++ {
+			r := m.RouterOf(src)
+			steps := 0
+			for {
+				d := m.Route(r, dst)
+				if d >= Local {
+					if m.TileAt(r, d) != dst {
+						t.Fatalf("src %d dst %d delivered to wrong tile", src, dst)
+					}
+					break
+				}
+				next, ok := m.Neighbor(r, d)
+				if !ok {
+					t.Fatalf("route fell off the mesh at router %d dir %v", r, d)
+				}
+				r = next
+				steps++
+				if steps > m.Hops(src, dst) {
+					t.Fatalf("src %d dst %d exceeded minimal hops", src, dst)
+				}
+			}
+			if steps != m.Hops(src, dst) {
+				t.Fatalf("src %d dst %d took %d hops, want %d", src, dst, steps, m.Hops(src, dst))
+			}
+		}
+	}
+}
+
+func TestRouteNeverTurnsBackToX(t *testing.T) {
+	// XY property: after a Y move, no X move may follow.
+	m, _ := NewMesh(4, 4)
+	for src := 0; src < m.Tiles(); src++ {
+		for dst := 0; dst < m.Tiles(); dst++ {
+			r := m.RouterOf(src)
+			movedY := false
+			for {
+				d := m.Route(r, dst)
+				if d >= Local {
+					break
+				}
+				if d == North || d == South {
+					movedY = true
+				} else if movedY {
+					t.Fatalf("X turn after Y move on %d->%d", src, dst)
+				}
+				r, _ = m.Neighbor(r, d)
+			}
+		}
+	}
+}
+
+func TestDirectionStrings(t *testing.T) {
+	if East.String() != "E" || West.String() != "W" || North.String() != "N" || South.String() != "S" {
+		t.Fatal("direction names wrong")
+	}
+	if Local.String() != "L0" || (Local+1).String() != "L1" {
+		t.Fatal("local port names wrong")
+	}
+}
+
+func TestTopologyString(t *testing.T) {
+	m, _ := NewMesh(8, 8)
+	if m.String() != "8x8 mesh" {
+		t.Fatalf("got %q", m.String())
+	}
+	c, _ := NewCMesh(4, 4, 2)
+	if c.String() != "4x4 cmesh (c=2)" {
+		t.Fatalf("got %q", c.String())
+	}
+}
+
+func TestHops(t *testing.T) {
+	m, _ := NewMesh(4, 4)
+	if m.Hops(0, 15) != 6 {
+		t.Fatalf("corner-to-corner hops %d, want 6", m.Hops(0, 15))
+	}
+	if m.Hops(5, 5) != 0 {
+		t.Fatal("self hops nonzero")
+	}
+}

@@ -1,0 +1,298 @@
+// Package workload generates the benchmark data traffic the paper feeds
+// its NoC simulator from gem5 traces of PARSEC (simlarge) and the SSCA2
+// graph benchmark. We do not have gem5 or the original traces, so each
+// benchmark is modelled by the statistical structure of its transmitted
+// cache-block values — the only property the compression and approximation
+// mechanisms are sensitive to:
+//
+//   - the int/float mix of blocks (VAXX dispatches on data type),
+//   - zero words and narrow integers (FP-COMP's static patterns),
+//   - a hot pool of recurring values (DI-COMP's dictionary locality),
+//   - small relative jitter around hot values (the approximate similarity
+//     VAXX converts into extra matches),
+//   - the data-to-control packet ratio and injection burstiness (queueing
+//     behaviour in Fig. 9).
+//
+// The per-benchmark parameters are qualitative calibrations taken from the
+// paper's own observations (e.g. SSCA2 is data-intensive with high value
+// sharing; streamcluster's uniform coordinates have little exact
+// repetition; x264 residuals are mostly narrow integers). See DESIGN.md's
+// substitution table.
+package workload
+
+import (
+	"fmt"
+	"math"
+
+	"approxnoc/internal/sim"
+	"approxnoc/internal/value"
+)
+
+// Model is the statistical description of one benchmark's data traffic.
+type Model struct {
+	Name string
+
+	// FloatFrac is the fraction of data blocks carrying float32 words.
+	FloatFrac float64
+	// ZeroProb is the per-word probability of a zero word.
+	ZeroProb float64
+	// Narrow4/8/16Prob are per-word probabilities of integers fitting
+	// 4/8/16-bit sign extension (integer blocks only).
+	Narrow4Prob  float64
+	Narrow8Prob  float64
+	Narrow16Prob float64
+	// PoolSize is the number of hot values the benchmark recirculates.
+	PoolSize int
+	// PoolProb is the per-word probability of drawing from the hot pool.
+	PoolProb float64
+	// JitterProb is the probability a pool draw is perturbed rather than
+	// exact; JitterPct is the relative perturbation magnitude. Together
+	// they are the approximate-similarity knob: exact draws feed DI-COMP's
+	// dictionary, jittered draws are what only VAXX can still match.
+	JitterProb float64
+	JitterPct  float64
+	// SeqProb is the probability a data block is a pointer/index array:
+	// a base address plus small strides. These blocks are what base-delta
+	// compression exploits; they are never annotated approximable
+	// (addresses must stay precise).
+	SeqProb float64
+	// DataRatio is the fraction of packets that are data packets; the rest
+	// are single-flit control packets.
+	DataRatio float64
+	// InjectionRate is the per-tile packet injection probability per cycle
+	// used for the Fig. 9 trace replays.
+	InjectionRate float64
+	// BurstLen and BurstGap shape the on/off injection process (cycles).
+	BurstLen, BurstGap int
+}
+
+// Benchmarks returns the eight workloads of the evaluation (PARSEC
+// subset + SSCA2), in the paper's figure order.
+func Benchmarks() []Model {
+	return []Model{
+		{
+			Name: "blackscholes", FloatFrac: 0.90, ZeroProb: 0.06,
+			Narrow4Prob: 0.10, Narrow8Prob: 0.08, Narrow16Prob: 0.08,
+			PoolSize: 48, PoolProb: 0.60, JitterProb: 0.50, JitterPct: 0.02,
+			SeqProb:   0.04,
+			DataRatio: 0.30, InjectionRate: 0.055, BurstLen: 200, BurstGap: 600,
+		},
+		{
+			Name: "bodytrack", FloatFrac: 0.60, ZeroProb: 0.14,
+			Narrow4Prob: 0.12, Narrow8Prob: 0.12, Narrow16Prob: 0.12,
+			PoolSize: 64, PoolProb: 0.40, JitterProb: 0.50, JitterPct: 0.05,
+			SeqProb:   0.08,
+			DataRatio: 0.12, InjectionRate: 0.020, BurstLen: 150, BurstGap: 900,
+		},
+		{
+			Name: "canneal", FloatFrac: 0.05, ZeroProb: 0.20,
+			Narrow4Prob: 0.08, Narrow8Prob: 0.10, Narrow16Prob: 0.22,
+			PoolSize: 32, PoolProb: 0.35, JitterProb: 0, JitterPct: 0,
+			SeqProb:   0.35,
+			DataRatio: 0.10, InjectionRate: 0.020, BurstLen: 100, BurstGap: 900,
+		},
+		{
+			Name: "fluidanimate", FloatFrac: 0.85, ZeroProb: 0.10,
+			Narrow4Prob: 0.10, Narrow8Prob: 0.10, Narrow16Prob: 0.12,
+			PoolSize: 64, PoolProb: 0.45, JitterProb: 0.50, JitterPct: 0.04,
+			SeqProb:   0.08,
+			DataRatio: 0.12, InjectionRate: 0.020, BurstLen: 120, BurstGap: 800,
+		},
+		{
+			Name: "streamcluster", FloatFrac: 0.95, ZeroProb: 0.03,
+			Narrow4Prob: 0.08, Narrow8Prob: 0.08, Narrow16Prob: 0.10,
+			PoolSize: 128, PoolProb: 0.30, JitterProb: 0.80, JitterPct: 0.08,
+			SeqProb:   0.05,
+			DataRatio: 0.22, InjectionRate: 0.045, BurstLen: 400, BurstGap: 400,
+		},
+		{
+			Name: "swaptions", FloatFrac: 0.90, ZeroProb: 0.05,
+			Narrow4Prob: 0.08, Narrow8Prob: 0.08, Narrow16Prob: 0.12,
+			PoolSize: 48, PoolProb: 0.55, JitterProb: 0.50, JitterPct: 0.03,
+			SeqProb:   0.05,
+			DataRatio: 0.25, InjectionRate: 0.050, BurstLen: 300, BurstGap: 500,
+		},
+		{
+			Name: "x264", FloatFrac: 0.05, ZeroProb: 0.35,
+			Narrow4Prob: 0.15, Narrow8Prob: 0.15, Narrow16Prob: 0.08,
+			PoolSize: 32, PoolProb: 0.25, JitterProb: 0.30, JitterPct: 0.02,
+			SeqProb:   0.10,
+			DataRatio: 0.28, InjectionRate: 0.053, BurstLen: 250, BurstGap: 450,
+		},
+		{
+			Name: "ssca2", FloatFrac: 0.40, ZeroProb: 0.22,
+			Narrow4Prob: 0.05, Narrow8Prob: 0.06, Narrow16Prob: 0.05,
+			PoolSize: 64, PoolProb: 0.62, JitterProb: 0.30, JitterPct: 0.03,
+			SeqProb:   0.15,
+			DataRatio: 0.55, InjectionRate: 0.030, BurstLen: 500, BurstGap: 300,
+		},
+	}
+}
+
+// ByName returns the model for a benchmark name.
+func ByName(name string) (Model, error) {
+	for _, m := range Benchmarks() {
+		if m.Name == name {
+			return m, nil
+		}
+	}
+	return Model{}, fmt.Errorf("workload: unknown benchmark %q", name)
+}
+
+// Source generates the cache-block value stream of one benchmark.
+type Source struct {
+	model      Model
+	rng        *sim.Rand
+	intPool    []int32
+	floatPool  []float32
+	zipfCDF    []float64
+	approxFrac float64
+}
+
+// NewSource builds a deterministic block source for the model.
+// approxFrac is the fraction of data blocks annotated approximable (the
+// paper's default is 0.75; Fig. 14 sweeps 0.25/0.50/0.75).
+func (m Model) NewSource(seed uint64, approxFrac float64) *Source {
+	s := &Source{model: m, rng: sim.NewRand(seed), approxFrac: approxFrac}
+	size := m.PoolSize
+	if size <= 0 {
+		size = 1
+	}
+	s.intPool = make([]int32, size)
+	s.floatPool = make([]float32, size)
+	for i := range s.intPool {
+		// Hot values spread over several magnitudes so VAXX masks differ.
+		mag := 1 << uint(6+s.rng.Intn(18))
+		s.intPool[i] = int32(mag + s.rng.Intn(mag))
+		s.floatPool[i] = (0.5 + float32(s.rng.Float64())) * float32(int64(1)<<uint(s.rng.Intn(16)))
+	}
+	// Pool draws follow a Zipf distribution: frequent-value-locality
+	// studies (and the dictionary-compression work the paper builds on)
+	// observe that a handful of values dominate on-chip traffic, which is
+	// what makes an 8-entry PMT sufficient.
+	s.zipfCDF = make([]float64, size)
+	total := 0.0
+	for i := 0; i < size; i++ {
+		total += 1 / math.Pow(float64(i+1), 1.2)
+		s.zipfCDF[i] = total
+	}
+	for i := range s.zipfCDF {
+		s.zipfCDF[i] /= total
+	}
+	return s
+}
+
+// poolIndex draws a Zipf-distributed pool rank.
+func (s *Source) poolIndex() int {
+	u := s.rng.Float64()
+	lo, hi := 0, len(s.zipfCDF)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if s.zipfCDF[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Model returns the generating model.
+func (s *Source) Model() Model { return s.model }
+
+// NextBlock produces one cache block of WordsPerBlock words.
+func (s *Source) NextBlock() *value.Block {
+	if s.rng.Bool(s.model.SeqProb) {
+		return s.nextSeqBlock()
+	}
+	isFloat := s.rng.Bool(s.model.FloatFrac)
+	approximable := s.rng.Bool(s.approxFrac)
+	if isFloat {
+		return s.nextFloatBlock(approximable)
+	}
+	return s.nextIntBlock(approximable)
+}
+
+// nextSeqBlock emits a pointer/index-array block: base address plus a
+// small stride — precise data with high intra-block value clustering.
+func (s *Source) nextSeqBlock() *value.Block {
+	words := make([]int32, value.WordsPerBlock)
+	strides := []int32{4, 8, 16, 64}
+	stride := strides[s.rng.Intn(len(strides))]
+	base := int32(0x1000_0000 + s.rng.Intn(1<<24)*4)
+	for i := range words {
+		words[i] = base + int32(i)*stride
+	}
+	return value.BlockFromI32(words, false)
+}
+
+func (s *Source) nextIntBlock(approximable bool) *value.Block {
+	words := make([]int32, value.WordsPerBlock)
+	m := s.model
+	for i := range words {
+		u := s.rng.Float64()
+		switch {
+		case u < m.ZeroProb:
+			words[i] = 0
+		case u < m.ZeroProb+m.PoolProb:
+			base := s.intPool[s.poolIndex()]
+			words[i] = base
+			if s.rng.Bool(m.JitterProb) {
+				words[i] = jitterInt(base, m.JitterPct, s.rng)
+			}
+		case u < m.ZeroProb+m.PoolProb+m.Narrow4Prob:
+			words[i] = int32(s.rng.Intn(16)) - 8
+		case u < m.ZeroProb+m.PoolProb+m.Narrow4Prob+m.Narrow8Prob:
+			words[i] = int32(s.rng.Intn(256)) - 128
+		case u < m.ZeroProb+m.PoolProb+m.Narrow4Prob+m.Narrow8Prob+m.Narrow16Prob:
+			words[i] = int32(s.rng.Intn(1<<16)) - 1<<15
+		default:
+			words[i] = int32(s.rng.Uint32())
+		}
+	}
+	return value.BlockFromI32(words, approximable)
+}
+
+func (s *Source) nextFloatBlock(approximable bool) *value.Block {
+	words := make([]float32, value.WordsPerBlock)
+	m := s.model
+	for i := range words {
+		u := s.rng.Float64()
+		switch {
+		case u < m.ZeroProb:
+			words[i] = 0
+		case u < m.ZeroProb+m.PoolProb:
+			base := s.floatPool[s.poolIndex()]
+			words[i] = base
+			if s.rng.Bool(m.JitterProb) {
+				words[i] = jitterFloat(base, m.JitterPct, s.rng)
+			}
+		default:
+			words[i] = float32((s.rng.Float64()*2 - 1) * 1e6)
+		}
+	}
+	return value.BlockFromF32(words, approximable)
+}
+
+func jitterInt(base int32, pct float64, r *sim.Rand) int32 {
+	if pct == 0 {
+		return base
+	}
+	d := float64(base) * pct * (2*r.Float64() - 1)
+	return base + int32(d)
+}
+
+func jitterFloat(base float32, pct float64, r *sim.Rand) float32 {
+	if pct == 0 {
+		return base
+	}
+	return base * float32(1+pct*(2*r.Float64()-1))
+}
+
+// NextIsData reports whether the next packet should be a data packet,
+// per the model's data-to-control ratio.
+func (s *Source) NextIsData() bool { return s.rng.Bool(s.model.DataRatio) }
+
+// NextIsDataAt draws the data/control decision at an explicit ratio,
+// overriding the model's (the Fig. 12 synthetic runs use 25:75).
+func (s *Source) NextIsDataAt(ratio float64) bool { return s.rng.Bool(ratio) }

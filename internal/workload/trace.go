@@ -1,0 +1,168 @@
+package workload
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"approxnoc/internal/value"
+)
+
+// Trace record format (little endian), the stand-in for gem5 communication
+// traces:
+//
+//	magic   [4]byte "ANTR"
+//	version uint16
+//	records:
+//	  src     uint16
+//	  dst     uint16
+//	  kind    uint8   (0 control, 1 data)
+//	  dtype   uint8   (data only)
+//	  approx  uint8   (data only)
+//	  words   uint8   (data only)
+//	  payload [words]uint32 (data only)
+var traceMagic = [4]byte{'A', 'N', 'T', 'R'}
+
+const traceVersion = 1
+
+// TraceRecord is one packet injection in a recorded trace.
+type TraceRecord struct {
+	Src, Dst int
+	IsData   bool
+	Block    *value.Block // nil for control packets
+}
+
+// TraceWriter streams trace records to w.
+type TraceWriter struct {
+	w   *bufio.Writer
+	err error
+}
+
+// NewTraceWriter writes the header and returns a writer.
+func NewTraceWriter(w io.Writer) (*TraceWriter, error) {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(traceMagic[:]); err != nil {
+		return nil, err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint16(traceVersion)); err != nil {
+		return nil, err
+	}
+	return &TraceWriter{w: bw}, nil
+}
+
+// Write appends one record.
+func (t *TraceWriter) Write(rec TraceRecord) error {
+	if t.err != nil {
+		return t.err
+	}
+	hdr := []any{uint16(rec.Src), uint16(rec.Dst)}
+	for _, v := range hdr {
+		if t.err = binary.Write(t.w, binary.LittleEndian, v); t.err != nil {
+			return t.err
+		}
+	}
+	if !rec.IsData {
+		t.err = t.w.WriteByte(0)
+		return t.err
+	}
+	if rec.Block == nil {
+		t.err = errors.New("workload: data record without block")
+		return t.err
+	}
+	if len(rec.Block.Words) > 255 {
+		t.err = fmt.Errorf("workload: block too large (%d words)", len(rec.Block.Words))
+		return t.err
+	}
+	approx := byte(0)
+	if rec.Block.Approximable {
+		approx = 1
+	}
+	for _, b := range []byte{1, byte(rec.Block.DType), approx, byte(len(rec.Block.Words))} {
+		if t.err = t.w.WriteByte(b); t.err != nil {
+			return t.err
+		}
+	}
+	for _, w := range rec.Block.Words {
+		if t.err = binary.Write(t.w, binary.LittleEndian, w); t.err != nil {
+			return t.err
+		}
+	}
+	return nil
+}
+
+// Flush commits buffered records.
+func (t *TraceWriter) Flush() error {
+	if t.err != nil {
+		return t.err
+	}
+	return t.w.Flush()
+}
+
+// TraceReader streams records back from a trace.
+type TraceReader struct {
+	r *bufio.Reader
+}
+
+// NewTraceReader validates the header and returns a reader.
+func NewTraceReader(r io.Reader) (*TraceReader, error) {
+	br := bufio.NewReader(r)
+	var magic [4]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("workload: reading trace magic: %w", err)
+	}
+	if magic != traceMagic {
+		return nil, errors.New("workload: not a trace file")
+	}
+	var ver uint16
+	if err := binary.Read(br, binary.LittleEndian, &ver); err != nil {
+		return nil, err
+	}
+	if ver != traceVersion {
+		return nil, fmt.Errorf("workload: unsupported trace version %d", ver)
+	}
+	return &TraceReader{r: br}, nil
+}
+
+// Read returns the next record or io.EOF.
+func (t *TraceReader) Read() (TraceRecord, error) {
+	var src, dst uint16
+	if err := binary.Read(t.r, binary.LittleEndian, &src); err != nil {
+		if errors.Is(err, io.ErrUnexpectedEOF) {
+			return TraceRecord{}, io.EOF
+		}
+		return TraceRecord{}, err
+	}
+	if err := binary.Read(t.r, binary.LittleEndian, &dst); err != nil {
+		return TraceRecord{}, corrupt(err)
+	}
+	kind, err := t.r.ReadByte()
+	if err != nil {
+		return TraceRecord{}, corrupt(err)
+	}
+	rec := TraceRecord{Src: int(src), Dst: int(dst)}
+	if kind == 0 {
+		return rec, nil
+	}
+	rec.IsData = true
+	var meta [3]byte
+	if _, err := io.ReadFull(t.r, meta[:]); err != nil {
+		return TraceRecord{}, corrupt(err)
+	}
+	blk := value.NewBlock(int(meta[2]), value.DataType(meta[0]), meta[1] == 1)
+	for i := range blk.Words {
+		if err := binary.Read(t.r, binary.LittleEndian, &blk.Words[i]); err != nil {
+			return TraceRecord{}, corrupt(err)
+		}
+	}
+	rec.Block = blk
+	return rec, nil
+}
+
+func corrupt(err error) error {
+	if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+		return errors.New("workload: truncated trace record")
+	}
+	return err
+}
