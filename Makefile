@@ -1,0 +1,16 @@
+# Standard entry points; `make check` is the tier-1 verification gate
+# (gofmt + vet + build + race-detector test run).
+
+.PHONY: check test build bench
+
+check:
+	./scripts/check.sh
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+bench:
+	go test -bench . -benchtime 1x -run '^$$'

@@ -25,6 +25,7 @@ import (
 	"approxnoc/internal/compress"
 	"approxnoc/internal/experiments"
 	"approxnoc/internal/noc"
+	"approxnoc/internal/serve"
 	"approxnoc/internal/topology"
 	"approxnoc/internal/value"
 )
@@ -256,6 +257,64 @@ func (c *Channel) Transfer(src, dst int, blk *Block) *Block {
 
 // Stats returns the channel's aggregate codec statistics.
 func (c *Channel) Stats() CodecStats { return c.fabric.Stats() }
+
+// Serving layer — the concurrent approximation/compression gateway.
+// Where Channel is a single-threaded pipeline for one caller, Gateway
+// shards the codecs across worker-owned pools so any number of
+// goroutines (or TCP clients, via GatewayServer) can stream blocks
+// through the same service with batching and explicit backpressure.
+
+// Gateway is the concurrent approximation/compression service; it is
+// safe for concurrent use by any number of goroutines.
+type Gateway = serve.Gateway
+
+// GatewayConfig parameterizes a Gateway (shards, queue depth, batching).
+type GatewayConfig = serve.Config
+
+// ServeRequest is one block transfer submitted to a Gateway.
+type ServeRequest = serve.Request
+
+// ServeResult is the gateway's answer to one ServeRequest.
+type ServeResult = serve.Result
+
+// GatewayMetrics is the gateway's counter snapshot (throughput,
+// backpressure, batching, compression ratio, latency quantiles).
+type GatewayMetrics = serve.Metrics
+
+// GatewayServer exposes a Gateway over TCP with a length-prefixed
+// binary protocol.
+type GatewayServer = serve.Server
+
+// GatewayClient is the concurrent TCP client of a GatewayServer.
+type GatewayClient = serve.Client
+
+// ErrOverloaded is the gateway's backpressure signal: the target shard's
+// bounded queue was full and the request was rejected.
+var ErrOverloaded = serve.ErrOverloaded
+
+// UseGatewayThreshold in ServeRequest.ThresholdPct selects the gateway's
+// configured error threshold instead of a per-request override. It is the
+// zero value, so leaving ThresholdPct unset is equivalent;
+// ExactThreshold forces exact (0%) operation for one request.
+const (
+	UseGatewayThreshold = serve.DefaultThreshold
+	ExactThreshold      = serve.ThresholdExact
+)
+
+// NewGateway builds and starts a gateway; Close it to stop the workers.
+func NewGateway(cfg GatewayConfig) (*Gateway, error) { return serve.New(cfg) }
+
+// DefaultGatewayConfig returns a gateway configuration for the paper's
+// main 32-tile system with the concurrency knobs at their defaults.
+func DefaultGatewayConfig(scheme Scheme, thresholdPct int) GatewayConfig {
+	return serve.DefaultConfig(scheme, thresholdPct)
+}
+
+// NewGatewayServer wraps a gateway for TCP serving.
+func NewGatewayServer(gw *Gateway) *GatewayServer { return serve.NewServer(gw) }
+
+// DialGateway connects to a remote gateway server.
+func DialGateway(addr string) (*GatewayClient, error) { return serve.Dial(addr) }
 
 // ExperimentConfig scales the paper-figure regenerators.
 type ExperimentConfig = experiments.Config

@@ -7,6 +7,9 @@
 package approxnoc_test
 
 import (
+	"errors"
+	"runtime"
+	"sync/atomic"
 	"testing"
 
 	"approxnoc"
@@ -14,6 +17,7 @@ import (
 	"approxnoc/internal/compress"
 	"approxnoc/internal/experiments"
 	"approxnoc/internal/graph"
+	"approxnoc/internal/serve"
 	"approxnoc/internal/tcam"
 	"approxnoc/internal/traffic"
 	"approxnoc/internal/value"
@@ -289,6 +293,68 @@ func BenchmarkNetworkCycle(b *testing.B) {
 		sim.Step()
 	}
 }
+
+// --- Serving-layer benchmarks ---------------------------------------------
+
+// benchmarkGateway measures parallel gateway throughput: every bench
+// goroutine is a client issuing one synchronous transfer at a time, so
+// throughput scales with how well the shard pools absorb concurrency.
+// blocks/sec and MB/s land in BENCH_*.json next to the serial numbers.
+func benchmarkGateway(b *testing.B, shards int, locked bool) {
+	const nodes = 32
+	gw, err := serve.New(serve.Config{
+		Nodes: nodes, Scheme: compress.DIVaxx, ThresholdPct: 10,
+		Shards: shards, QueueDepth: 4096, MaxBatch: 32, Locked: locked,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer gw.Close()
+	blocks := benchBlocks(256)
+	var seq atomic.Uint64
+	b.SetBytes(int64(4 * value.WordsPerBlock))
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := int(seq.Add(1)) * 7919 // de-correlate the flows per client
+		for pb.Next() {
+			req := serve.Request{
+				Src: i % nodes, Dst: (i*13 + 5) % nodes,
+				Block:        blocks[i%len(blocks)],
+				ThresholdPct: serve.DefaultThreshold,
+			}
+			for {
+				_, err := gw.Do(req)
+				if err == nil {
+					break
+				}
+				if errors.Is(err, serve.ErrOverloaded) {
+					runtime.Gosched()
+					continue
+				}
+				b.Error(err)
+				return
+			}
+			i++
+		}
+	})
+	b.StopTimer()
+	if sec := b.Elapsed().Seconds(); sec > 0 {
+		b.ReportMetric(float64(b.N)/sec, "blocks/sec")
+		b.ReportMetric(float64(b.N)*float64(4*value.WordsPerBlock)/1e6/sec, "MB/s")
+	}
+}
+
+func BenchmarkGatewayShards1(b *testing.B) { benchmarkGateway(b, 1, false) }
+
+func BenchmarkGatewayShards4(b *testing.B) { benchmarkGateway(b, 4, false) }
+
+func BenchmarkGatewayShardsMaxProcs(b *testing.B) {
+	benchmarkGateway(b, runtime.GOMAXPROCS(0), false)
+}
+
+// BenchmarkGatewayLocked4 is the contention comparator: the same load as
+// BenchmarkGatewayShards4 but through one mutex-guarded codec pool.
+func BenchmarkGatewayLocked4(b *testing.B) { benchmarkGateway(b, 4, true) }
 
 func BenchmarkBetweenness(b *testing.B) {
 	g, err := graph.RMAT(8, 6, 3)

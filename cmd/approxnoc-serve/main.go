@@ -1,0 +1,262 @@
+// Command approxnoc-serve runs the approximation/compression gateway as
+// a network service: cache blocks stream in over a length-prefixed binary
+// TCP protocol, pass through the selected scheme's codec pair, and the
+// (possibly approximated) blocks stream back with compression accounting.
+//
+// Serve a DI-VAXX gateway at a 5% error threshold:
+//
+//	approxnoc-serve -scheme DI-VAXX -threshold 5 -addr :9444
+//
+// Self-test mode replays a benchmark workload trace through the gateway
+// with concurrent TCP clients, verifies threshold-0 results bit-for-bit
+// against the serial channel path, and prints the gateway metrics:
+//
+//	approxnoc-serve -selftest -scheme DI-VAXX -threshold 0 -benchmark ssca2
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"runtime"
+	"sync"
+
+	"approxnoc/internal/compress"
+	"approxnoc/internal/serve"
+	"approxnoc/internal/sim"
+	"approxnoc/internal/traffic"
+	"approxnoc/internal/value"
+	"approxnoc/internal/workload"
+)
+
+// listenLoopback binds the selftest server to an ephemeral loopback port.
+func listenLoopback() (net.Listener, error) { return net.Listen("tcp", "127.0.0.1:0") }
+
+func main() {
+	addr := flag.String("addr", ":9444", "TCP listen address")
+	schemeName := flag.String("scheme", "DI-VAXX", "Baseline | DI-COMP | DI-VAXX | FP-COMP | FP-VAXX | BD-COMP | BD-VAXX")
+	threshold := flag.Int("threshold", 10, "VAXX error threshold (%)")
+	nodes := flag.Int("nodes", 32, "logical endpoints the gateway serves")
+	shards := flag.Int("shards", 0, "codec pool shards (0 = GOMAXPROCS)")
+	queue := flag.Int("queue", 0, "per-shard queue depth (0 = default)")
+	batch := flag.Int("batch", 0, "max coalesced batch per dispatch (0 = default)")
+	locked := flag.Bool("locked", false, "mutex-guarded single codec pool instead of shards")
+	adaptive := flag.Bool("adaptive", false, "wrap codecs with the compression on/off controller")
+	selftest := flag.Bool("selftest", false, "replay a workload through the gateway and exit")
+	benchmark := flag.String("benchmark", "ssca2", "benchmark trace for -selftest")
+	records := flag.Int("records", 2000, "trace records for -selftest")
+	clients := flag.Int("clients", 16, "concurrent TCP clients for -selftest")
+	trace := flag.String("trace", "", "replay an ANTR trace file instead of a synthetic workload (-selftest)")
+	seed := flag.Uint64("seed", 1, "seed for the synthetic workload (-selftest)")
+	flag.Parse()
+
+	cfg := serve.Config{
+		Nodes: *nodes, Scheme: compress.Baseline, ThresholdPct: *threshold,
+		Shards: *shards, QueueDepth: *queue, MaxBatch: *batch,
+		Locked: *locked, Adaptive: *adaptive,
+	}
+	scheme, err := compress.ParseScheme(*schemeName)
+	if err == nil {
+		cfg.Scheme = scheme
+		if *selftest {
+			err = runSelftest(cfg, *benchmark, *trace, *records, *clients, *seed)
+		} else {
+			err = runServer(cfg, *addr)
+		}
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "approxnoc-serve:", err)
+		os.Exit(1)
+	}
+}
+
+// runServer serves the gateway until the listener fails (e.g. the
+// process is killed).
+func runServer(cfg serve.Config, addr string) error {
+	gw, err := serve.New(cfg)
+	if err != nil {
+		return err
+	}
+	defer gw.Close()
+	srv := serve.NewServer(gw)
+	eff := gw.Config()
+	fmt.Printf("serving %v gateway: %d nodes, %d shards (locked=%v), queue %d, batch %d, threshold %d%%\n",
+		eff.Scheme, eff.Nodes, eff.Shards, eff.Locked, eff.QueueDepth, eff.MaxBatch, eff.ThresholdPct)
+	fmt.Printf("listening on %s\n", addr)
+	return srv.ListenAndServe(addr)
+}
+
+// selftestRecords builds the data records to replay: either a recorded
+// ANTR trace or a synthetic benchmark workload.
+func selftestRecords(cfg serve.Config, benchmark, traceFile string, records int, seed uint64) ([]workload.TraceRecord, error) {
+	if traceFile != "" {
+		f, err := os.Open(traceFile)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		recs, err := traffic.ReadTrace(f)
+		if err != nil {
+			return nil, err
+		}
+		for i, r := range recs {
+			if r.Src >= cfg.Nodes || r.Dst >= cfg.Nodes {
+				return nil, fmt.Errorf("trace record %d addresses node pair (%d,%d) outside the %d-node gateway",
+					i, r.Src, r.Dst, cfg.Nodes)
+			}
+		}
+		return recs, nil
+	}
+	m, err := workload.ByName(benchmark)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Nodes < 2 {
+		return nil, fmt.Errorf("selftest needs at least 2 nodes, got %d", cfg.Nodes)
+	}
+	src := m.NewSource(seed, 0.75)
+	rng := sim.NewRand(seed + 1)
+	recs := make([]workload.TraceRecord, records)
+	for i := range recs {
+		from := rng.Intn(cfg.Nodes)
+		recs[i] = workload.TraceRecord{
+			Src: from, Dst: (from + 1 + rng.Intn(cfg.Nodes-1)) % cfg.Nodes,
+			IsData: true, Block: src.NextBlock(),
+		}
+	}
+	return recs, nil
+}
+
+// runSelftest replays the workload through a loopback TCP server with
+// concurrent clients. At threshold 0 every delivered block is verified
+// bit-for-bit against the serial fabric path; at any threshold,
+// non-approximable blocks must come back untouched.
+func runSelftest(cfg serve.Config, benchmark, traceFile string, records, clients int, seed uint64) error {
+	if clients <= 0 {
+		return fmt.Errorf("selftest needs at least 1 client, got %d", clients)
+	}
+	recs, err := selftestRecords(cfg, benchmark, traceFile, records, seed)
+	if err != nil {
+		return err
+	}
+	var data []workload.TraceRecord
+	for _, r := range recs {
+		if r.IsData {
+			data = append(data, r)
+		}
+	}
+	if len(data) == 0 {
+		return fmt.Errorf("workload has no data records")
+	}
+
+	// The serial reference: the same scheme through one codec fabric,
+	// single-threaded. At threshold 0 the gateway must reproduce it
+	// bit-for-bit; above 0 the sharded PMT state may legitimately make
+	// different (still threshold-bounded) approximation choices.
+	factory, err := compress.FactoryFor(cfg.Scheme, cfg.Nodes, cfg.ThresholdPct)
+	if err != nil {
+		return err
+	}
+	serial := compress.NewFabric(cfg.Nodes, factory)
+	want := make([]*value.Block, len(data))
+	for i, r := range data {
+		want[i] = serial.Transfer(r.Src, r.Dst, r.Block.Clone())
+	}
+	thr := 0.0
+	if cfg.Scheme.IsVaxx() {
+		thr = float64(cfg.ThresholdPct) / 100
+	}
+
+	gw, err := serve.New(cfg)
+	if err != nil {
+		return err
+	}
+	defer gw.Close()
+	srv := serve.NewServer(gw)
+	ln, err := listenLoopback()
+	if err != nil {
+		return err
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+	defer srv.Close()
+	addr := ln.Addr().String()
+
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	var mismatches sync.Map
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			cl, err := serve.Dial(addr)
+			if err != nil {
+				errs <- fmt.Errorf("client %d: %w", c, err)
+				return
+			}
+			defer cl.Close()
+			for i := c; i < len(data); i += clients {
+				r := data[i]
+				var res serve.Result
+				for {
+					res, err = cl.Do(serve.Request{
+						Src: r.Src, Dst: r.Dst, Block: r.Block,
+						ThresholdPct: serve.DefaultThreshold,
+					})
+					if errors.Is(err, serve.ErrOverloaded) {
+						runtime.Gosched()
+						continue
+					}
+					if err != nil {
+						errs <- fmt.Errorf("client %d record %d: %w", c, i, err)
+						return
+					}
+					break
+				}
+				if thr == 0 && !res.Block.Equal(want[i]) {
+					mismatches.Store(i, "diverges from serial path")
+					continue
+				}
+				if !r.Block.Approximable && !res.Block.Equal(r.Block) {
+					mismatches.Store(i, "non-approximable block altered")
+					continue
+				}
+				for w := range r.Block.Words {
+					if value.RelError(r.Block.Words[w], res.Block.Words[w], r.Block.DType) > thr+1e-9 {
+						mismatches.Store(i, "word error exceeds threshold")
+						break
+					}
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		return err
+	}
+	bad := 0
+	mismatches.Range(func(k, v any) bool { bad++; return true })
+
+	m := gw.Metrics()
+	cs := gw.CodecStats()
+	fmt.Printf("selftest            %v, %d nodes, %d shards (locked=%v), threshold %d%%\n",
+		gw.Config().Scheme, gw.Config().Nodes, gw.Config().Shards, gw.Config().Locked, gw.Config().ThresholdPct)
+	fmt.Printf("replayed            %d data records via %d TCP clients\n", len(data), clients)
+	fmt.Println(m)
+	fmt.Printf("codec               ratio %.3f  encoded %.3f (approx %.3f)  quality %.4f\n",
+		cs.CompressionRatio(), cs.EncodedWordFraction(), cs.ApproxWordFraction(), cs.DataQuality())
+	if bad > 0 {
+		return fmt.Errorf("%d of %d blocks failed verification", bad, len(data))
+	}
+	if thr == 0 {
+		fmt.Println("verify              gateway results bit-identical to the serial fabric path")
+	} else {
+		fmt.Printf("verify              every word within the %d%% error threshold\n", cfg.ThresholdPct)
+	}
+	srv.Close()
+	gw.Close()
+	return <-serveErr
+}

@@ -1,0 +1,93 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"approxnoc/internal/compress"
+	"approxnoc/internal/serve"
+	"approxnoc/internal/sim"
+	"approxnoc/internal/workload"
+)
+
+func selftestConfig(scheme compress.Scheme, threshold int) serve.Config {
+	return serve.Config{
+		Nodes: 8, Scheme: scheme, ThresholdPct: threshold,
+		Shards: 4, QueueDepth: 256,
+	}
+}
+
+func TestSelftestThresholdZero(t *testing.T) {
+	if err := runSelftest(selftestConfig(compress.DIVaxx, 0), "ssca2", "", 300, 8, 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSelftestApproximate(t *testing.T) {
+	if err := runSelftest(selftestConfig(compress.FPVaxx, 10), "blackscholes", "", 200, 4, 2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSelftestLocked(t *testing.T) {
+	cfg := selftestConfig(compress.DIComp, 0)
+	cfg.Locked = true
+	if err := runSelftest(cfg, "ssca2", "", 150, 4, 3); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSelftestFromTraceFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "t.trace")
+	m, err := workload.ByName("x264")
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := m.NewSource(5, 0.75)
+	rng := sim.NewRand(6)
+	var buf bytes.Buffer
+	w, err := workload.NewTraceWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		from := rng.Intn(8)
+		rec := workload.TraceRecord{Src: from, Dst: (from + 1) % 8}
+		if i%4 != 0 {
+			rec.IsData = true
+			rec.Block = src.NextBlock()
+		}
+		if err := w.Write(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := runSelftest(selftestConfig(compress.FPComp, 0), "", path, 0, 4, 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSelftestRejectsBadInputs(t *testing.T) {
+	if err := runSelftest(selftestConfig(compress.DIVaxx, 0), "doom", "", 10, 2, 1); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+	if err := runSelftest(selftestConfig(compress.DIVaxx, 0), "ssca2", "", 10, 0, 1); err == nil {
+		t.Error("zero clients accepted")
+	}
+	if err := runSelftest(selftestConfig(compress.DIVaxx, 0), "", "/does/not/exist", 10, 2, 1); err == nil {
+		t.Error("missing trace file accepted")
+	}
+	cfg := selftestConfig(compress.DIVaxx, 0)
+	cfg.Nodes = 1
+	if err := runSelftest(cfg, "ssca2", "", 10, 2, 1); err == nil {
+		t.Error("single-node selftest accepted")
+	}
+}

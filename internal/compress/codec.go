@@ -232,6 +232,14 @@ func (s OpStats) DataQuality() float64 {
 
 // Codec is the per-node compression engine: one lives in every network
 // interface and handles both directions plus dictionary control traffic.
+//
+// A Codec is NOT safe for concurrent use: every implementation mutates
+// unguarded state on both paths (statistics on every call, and for the
+// dictionary schemes the encoder/decoder pattern matching tables). A
+// codec — and any Fabric holding codecs — must only ever be touched by
+// one goroutine at a time. The sanctioned way to parallelize is the
+// serve gateway's shard-ownership model (internal/serve): independent
+// codec pools, each owned by a single worker goroutine.
 type Codec interface {
 	// Scheme identifies the mechanism.
 	Scheme() Scheme

@@ -39,6 +39,12 @@ func (f *Fabric) Transfer(src, dst int, blk *value.Block) *value.Block {
 	return out
 }
 
+// Deliver routes notifications to their target codecs until no more are
+// produced — for callers that drive Compress/Decompress directly (e.g.
+// the serve gateway, which needs the intermediate Encoded for accounting)
+// and must still settle the dictionary-consistency protocol.
+func (f *Fabric) Deliver(notifs []Notification) { f.deliver(notifs) }
+
 // deliver routes notifications to their target codecs until no more are
 // produced.
 func (f *Fabric) deliver(notifs []Notification) {

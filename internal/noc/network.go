@@ -32,6 +32,14 @@ type stagedNICredit struct {
 
 // Network is the assembled cycle-accurate NoC: routers, links and NIs with
 // their per-node codecs.
+//
+// A Network is NOT safe for concurrent use: Step advances every router,
+// link and codec in place with no locking, and the injection and stats
+// methods mutate the same state. Drive a Network from exactly one
+// goroutine. To serve concurrent traffic through the codec layer, use
+// the serve gateway (internal/serve), whose shards each own a private
+// codec pool; to parallelize whole-network studies, run independent
+// Network instances (one per goroutine), as the experiment harness does.
 type Network struct {
 	topo  *topology.Topology
 	cfg   Config

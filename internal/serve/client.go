@@ -1,0 +1,147 @@
+package serve
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"approxnoc/internal/value"
+)
+
+// Client is the TCP client of the gateway protocol. It is safe for
+// concurrent use: calls from many goroutines are multiplexed over one
+// connection and matched to responses by request id, so each Do only
+// waits for its own reply.
+type Client struct {
+	conn net.Conn
+
+	wmu sync.Mutex // serializes frame writes
+	w   *bufio.Writer
+
+	mu      sync.Mutex // guards pending and err
+	pending map[uint64]chan Result
+	err     error
+
+	nextID atomic.Uint64
+	done   chan struct{}
+	once   sync.Once
+}
+
+// Dial connects to a gateway server.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("serve: %w", err)
+	}
+	return NewClient(conn), nil
+}
+
+// NewClient wraps an established connection (any net.Conn, so tests can
+// use net.Pipe) and starts the response reader.
+func NewClient(conn net.Conn) *Client {
+	c := &Client{
+		conn:    conn,
+		w:       bufio.NewWriter(conn),
+		pending: make(map[uint64]chan Result),
+		done:    make(chan struct{}),
+	}
+	go c.readLoop()
+	return c
+}
+
+// Transfer is the convenience form of Do for the common case.
+func (c *Client) Transfer(src, dst int, blk *value.Block) (*value.Block, error) {
+	res, err := c.Do(Request{Src: src, Dst: dst, Block: blk, ThresholdPct: DefaultThreshold})
+	if err != nil {
+		return nil, err
+	}
+	return res.Block, nil
+}
+
+// Do sends one request and waits for its response. The returned error is
+// the transport failure or the server-reported per-request error
+// (ErrOverloaded round-trips as itself).
+func (c *Client) Do(req Request) (Result, error) {
+	id := c.nextID.Add(1)
+	ch := make(chan Result, 1)
+
+	c.mu.Lock()
+	if c.err != nil {
+		err := c.err
+		c.mu.Unlock()
+		return Result{}, err
+	}
+	c.pending[id] = ch
+	c.mu.Unlock()
+
+	frame := appendRequest(nil, id, req)
+	c.wmu.Lock()
+	err := writeFrame(c.w, frame)
+	if err == nil {
+		err = c.w.Flush()
+	}
+	c.wmu.Unlock()
+	if err != nil {
+		c.mu.Lock()
+		delete(c.pending, id)
+		c.mu.Unlock()
+		return Result{}, fmt.Errorf("serve: %w", err)
+	}
+
+	select {
+	case res := <-ch:
+		res.Tag = req.Tag // restore the caller's tag; the wire id was ours
+		return res, res.Err
+	case <-c.done:
+		c.mu.Lock()
+		err := c.err
+		c.mu.Unlock()
+		return Result{}, err
+	}
+}
+
+// readLoop dispatches response frames to their waiting callers.
+func (c *Client) readLoop() {
+	r := bufio.NewReader(c.conn)
+	var buf []byte
+	var err error
+	for {
+		var frame []byte
+		frame, err = readFrame(r, buf)
+		if err != nil {
+			break
+		}
+		buf = frame[:0]
+		res, perr := parseResponse(frame)
+		if perr != nil {
+			err = perr
+			break
+		}
+		c.mu.Lock()
+		ch, ok := c.pending[res.Tag]
+		delete(c.pending, res.Tag)
+		c.mu.Unlock()
+		if ok {
+			ch <- res
+		}
+	}
+	c.mu.Lock()
+	if c.err == nil {
+		c.err = fmt.Errorf("serve: connection lost: %w", err)
+	}
+	c.mu.Unlock()
+	c.once.Do(func() { close(c.done) })
+}
+
+// Close tears down the connection; in-flight Do calls fail.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	if c.err == nil {
+		c.err = ErrClosed
+	}
+	c.mu.Unlock()
+	err := c.conn.Close()
+	return err
+}

@@ -1,0 +1,203 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"approxnoc/internal/compress"
+)
+
+// Gateway is the concurrent approximation/compression service. It owns
+// Config.Shards codec pools, each drained by one worker goroutine, and
+// routes every request to the shard keyed by hash(src, dst). Gateway is
+// safe for concurrent use by any number of goroutines.
+type Gateway struct {
+	cfg    Config
+	shards []*shard
+	wg     sync.WaitGroup
+	done   chan struct{} // closed by Close once every worker exited
+
+	// mu orders Submit against Close: submitters hold it shared while
+	// sending into shard queues, Close holds it exclusively while
+	// closing them, so no send can race a close.
+	mu     sync.RWMutex
+	closed bool
+}
+
+// New builds and starts a gateway; callers must Close it to stop the
+// shard workers.
+func New(cfg Config) (*Gateway, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	factory, err := compress.FactoryFor(cfg.Scheme, cfg.Nodes, cfg.ThresholdPct)
+	if err != nil {
+		return nil, fmt.Errorf("serve: %w", err)
+	}
+	if cfg.Adaptive {
+		inner := factory
+		factory = func(node int) compress.Codec {
+			a, err := compress.NewAdaptive(inner(node), compress.DefaultAdaptiveConfig())
+			if err != nil {
+				panic(err) // config is the validated default
+			}
+			return a
+		}
+	}
+	g := &Gateway{cfg: cfg, shards: make([]*shard, cfg.Shards), done: make(chan struct{})}
+	var shared *pool
+	if cfg.Locked {
+		shared = newPool(cfg, factory, &sync.Mutex{})
+	}
+	for i := range g.shards {
+		p := shared
+		if p == nil {
+			p = newPool(cfg, factory, nil)
+		}
+		g.shards[i] = newShard(i, p, cfg)
+	}
+	for _, sh := range g.shards {
+		g.wg.Add(1)
+		go sh.run(&g.wg)
+	}
+	return g, nil
+}
+
+// Config returns the gateway's effective configuration (defaults filled).
+func (g *Gateway) Config() Config { return g.cfg }
+
+// shardFor maps a flow to its owning shard. The hash is a murmur3-style
+// finalizer over the packed pair, deterministic across runs so a flow's
+// dictionary state always lives on one shard.
+func (g *Gateway) shardFor(src, dst int) *shard {
+	h := uint64(uint32(src))<<32 | uint64(uint32(dst))
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return g.shards[h%uint64(len(g.shards))]
+}
+
+// validate rejects malformed requests before they reach a shard.
+func (g *Gateway) validate(req Request) error {
+	if req.Block == nil || len(req.Block.Words) == 0 {
+		return fmt.Errorf("serve: request needs a non-empty block")
+	}
+	if req.Src < 0 || req.Src >= g.cfg.Nodes || req.Dst < 0 || req.Dst >= g.cfg.Nodes {
+		return fmt.Errorf("serve: endpoint pair (%d,%d) outside the %d-node gateway",
+			req.Src, req.Dst, g.cfg.Nodes)
+	}
+	return nil
+}
+
+// Submit enqueues a request without waiting for its result, which is
+// later sent on reply (pass nil to discard it). reply must have a free
+// buffer slot per outstanding request — the shard worker never blocks on
+// it and drops the result otherwise. Returns ErrOverloaded when the
+// flow's shard queue is full and ErrClosed after Close.
+func (g *Gateway) Submit(req Request, reply chan<- Result) error {
+	if err := g.validate(req); err != nil {
+		return err
+	}
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	if g.closed {
+		return ErrClosed
+	}
+	sh := g.shardFor(req.Src, req.Dst)
+	select {
+	case sh.queue <- pending{req: req, reply: reply, enq: time.Now()}:
+		sh.accepted.Add(1)
+		return nil
+	default:
+		sh.rejected.Add(1)
+		return ErrOverloaded
+	}
+}
+
+// Do submits a request and waits for its result — the in-process client
+// path. The returned error is either a submission failure (ErrOverloaded,
+// ErrClosed, validation) or the per-request Result.Err.
+func (g *Gateway) Do(req Request) (Result, error) {
+	reply := make(chan Result, 1)
+	if err := g.Submit(req, reply); err != nil {
+		return Result{}, err
+	}
+	res := <-reply
+	return res, res.Err
+}
+
+// Metrics snapshots the per-shard counters and their aggregate.
+func (g *Gateway) Metrics() Metrics {
+	shards := make([]ShardMetrics, len(g.shards))
+	for i, sh := range g.shards {
+		shards[i] = sh.metrics()
+	}
+	return aggregate(shards)
+}
+
+// CodecStats aggregates the codec operation counts across every pool.
+// The snapshot is taken by the shard workers themselves (or directly
+// once the gateway is closed), so it is safe to call concurrently with
+// traffic — it queues behind in-flight batches.
+func (g *Gateway) CodecStats() compress.OpStats {
+	g.mu.RLock()
+	closed := g.closed
+	g.mu.RUnlock()
+	if closed {
+		// Workers have exited (or are exiting); wait for them so the
+		// read is ordered after their last fabric write.
+		g.wg.Wait()
+		return g.poolStats()
+	}
+	var s compress.OpStats
+	if g.cfg.Locked {
+		// One shared pool; any worker can snapshot it under the mutex.
+		return g.shards[0].pool.stats()
+	}
+	for _, sh := range g.shards {
+		r := make(chan compress.OpStats, 1)
+		select {
+		case sh.statsReq <- r:
+			s.Add(<-r)
+		case <-g.done:
+			// Raced with Close; workers are gone, read directly.
+			return g.poolStats()
+		}
+	}
+	return s
+}
+
+// poolStats sums codec stats directly; only safe once workers stopped.
+func (g *Gateway) poolStats() compress.OpStats {
+	if g.cfg.Locked {
+		return g.shards[0].pool.stats()
+	}
+	var s compress.OpStats
+	for _, sh := range g.shards {
+		s.Add(sh.pool.stats())
+	}
+	return s
+}
+
+// Close stops accepting requests, drains every shard queue (queued
+// requests still get replies), and waits for the workers to exit.
+// Closing twice is a no-op.
+func (g *Gateway) Close() error {
+	g.mu.Lock()
+	if g.closed {
+		g.mu.Unlock()
+		return nil
+	}
+	g.closed = true
+	for _, sh := range g.shards {
+		close(sh.queue)
+	}
+	g.mu.Unlock()
+	g.wg.Wait()
+	close(g.done)
+	return nil
+}

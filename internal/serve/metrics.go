@@ -1,0 +1,106 @@
+package serve
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"approxnoc/internal/stats"
+)
+
+// ShardMetrics is a snapshot of one shard's counters.
+type ShardMetrics struct {
+	// Shard is the shard index.
+	Shard int
+	// Accepted and Rejected count submissions: Rejected were turned away
+	// with ErrOverloaded by the bounded queue.
+	Accepted, Rejected uint64
+	// Processed counts requests the worker completed (including ones
+	// that failed with a per-request error).
+	Processed uint64
+	// Batches counts worker dispatches; Coalesced counts the requests
+	// that shared a dispatch with at least one other (batch size >= 2),
+	// so Coalesced/Processed is the batching hit rate.
+	Batches, Coalesced uint64
+	// DroppedReplies counts results discarded because the reply channel
+	// had no free slot.
+	DroppedReplies uint64
+	// BitsIn/BitsOut are uncompressed vs. encoded payload bits;
+	// BytesIn/BytesOut are the block and byte-rounded wire sizes.
+	BitsIn, BitsOut   uint64
+	BytesIn, BytesOut uint64
+	// P50 and P99 are service-latency quantiles (enqueue to completion).
+	P50, P99 time.Duration
+
+	latency stats.LatencySnapshot
+}
+
+// CompressionRatio returns BitsIn / BitsOut (1.0 when nothing flowed).
+func (m ShardMetrics) CompressionRatio() float64 {
+	if m.BitsOut == 0 {
+		return 1
+	}
+	return float64(m.BitsIn) / float64(m.BitsOut)
+}
+
+// Metrics aggregates the gateway's counters: the totals plus the
+// per-shard breakdown. Quantiles are computed over the merged per-shard
+// latency histograms, not averaged.
+type Metrics struct {
+	Shards []ShardMetrics
+
+	Accepted, Rejected uint64
+	Processed          uint64
+	Batches, Coalesced uint64
+	DroppedReplies     uint64
+	BitsIn, BitsOut    uint64
+	BytesIn, BytesOut  uint64
+	P50, P99           time.Duration
+}
+
+// CompressionRatio returns the aggregate BitsIn / BitsOut.
+func (m Metrics) CompressionRatio() float64 {
+	if m.BitsOut == 0 {
+		return 1
+	}
+	return float64(m.BitsIn) / float64(m.BitsOut)
+}
+
+// aggregate folds per-shard snapshots into totals.
+func aggregate(shards []ShardMetrics) Metrics {
+	m := Metrics{Shards: shards}
+	var lat stats.LatencySnapshot
+	for _, s := range shards {
+		m.Accepted += s.Accepted
+		m.Rejected += s.Rejected
+		m.Processed += s.Processed
+		m.Batches += s.Batches
+		m.Coalesced += s.Coalesced
+		m.DroppedReplies += s.DroppedReplies
+		m.BitsIn += s.BitsIn
+		m.BitsOut += s.BitsOut
+		m.BytesIn += s.BytesIn
+		m.BytesOut += s.BytesOut
+		lat.Add(s.latency)
+	}
+	m.P50 = lat.Quantile(0.50)
+	m.P99 = lat.Quantile(0.99)
+	return m
+}
+
+// String renders the aggregate metrics as a multi-line report.
+func (m Metrics) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "shards              %d\n", len(m.Shards))
+	fmt.Fprintf(&b, "requests            accepted %d  rejected %d  processed %d\n",
+		m.Accepted, m.Rejected, m.Processed)
+	fmt.Fprintf(&b, "batching            %d dispatches, %d requests coalesced\n",
+		m.Batches, m.Coalesced)
+	fmt.Fprintf(&b, "payload             %d bytes in, %d bytes out, ratio %.3f\n",
+		m.BytesIn, m.BytesOut, m.CompressionRatio())
+	fmt.Fprintf(&b, "service latency     p50 %v  p99 %v", m.P50, m.P99)
+	if m.DroppedReplies > 0 {
+		fmt.Fprintf(&b, "\ndropped replies     %d", m.DroppedReplies)
+	}
+	return b.String()
+}

@@ -1,0 +1,207 @@
+package serve
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"approxnoc/internal/value"
+)
+
+// Wire protocol: every message is a frame of a big-endian uint32 payload
+// length followed by that many payload bytes.
+//
+//	request:  kind(1) id(8) src(2) dst(2) threshold(int16) dtype(1)
+//	          approx(1) nwords(2) words(4*nwords)
+//	response: kind(2) id(8) status(1) then
+//	          status ok:         dtype(1) approx(1) nwords(2)
+//	                             words(4*nwords) bitsIn(4) bitsOut(4)
+//	          status overloaded: nothing
+//	          status error:      msglen(2) msg(msglen)
+//
+// The threshold follows Request.ThresholdPct semantics: 0 means the
+// gateway's configured default, negative means ThresholdExact. Responses
+// may arrive out of order; clients match them to requests by id.
+const (
+	msgRequest  = 1
+	msgResponse = 2
+
+	statusOK         = 0
+	statusOverloaded = 1
+	statusError      = 2
+
+	// maxFrame bounds a frame payload; blocks are cache lines, so even
+	// generous metadata stays far below this.
+	maxFrame = 1 << 20
+)
+
+// writeFrame sends one length-prefixed payload.
+func writeFrame(w io.Writer, payload []byte) error {
+	if len(payload) > maxFrame {
+		return fmt.Errorf("serve: frame of %d bytes exceeds limit %d", len(payload), maxFrame)
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// readFrame receives one payload, reusing buf when it is large enough.
+func readFrame(r io.Reader, buf []byte) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > maxFrame {
+		return nil, fmt.Errorf("serve: frame of %d bytes exceeds limit %d", n, maxFrame)
+	}
+	if uint32(cap(buf)) < n {
+		buf = make([]byte, n)
+	}
+	buf = buf[:n]
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// appendBlock serializes a block's metadata and words.
+func appendBlock(b []byte, blk *value.Block) []byte {
+	b = append(b, byte(blk.DType), boolByte(blk.Approximable))
+	b = binary.BigEndian.AppendUint16(b, uint16(len(blk.Words)))
+	for _, w := range blk.Words {
+		b = binary.BigEndian.AppendUint32(b, w)
+	}
+	return b
+}
+
+// parseBlock is the inverse of appendBlock, returning the rest of p.
+func parseBlock(p []byte) (*value.Block, []byte, error) {
+	if len(p) < 4 {
+		return nil, nil, errors.New("serve: truncated block header")
+	}
+	dt, approx := value.DataType(p[0]), p[1] != 0
+	n := int(binary.BigEndian.Uint16(p[2:]))
+	p = p[4:]
+	if n == 0 {
+		return nil, nil, errors.New("serve: empty block")
+	}
+	if len(p) < 4*n {
+		return nil, nil, errors.New("serve: truncated block words")
+	}
+	blk := value.NewBlock(n, dt, approx)
+	for i := range blk.Words {
+		blk.Words[i] = binary.BigEndian.Uint32(p[4*i:])
+	}
+	return blk, p[4*n:], nil
+}
+
+func boolByte(b bool) byte {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// appendRequest serializes a request under the given id.
+func appendRequest(b []byte, id uint64, req Request) []byte {
+	b = append(b, msgRequest)
+	b = binary.BigEndian.AppendUint64(b, id)
+	b = binary.BigEndian.AppendUint16(b, uint16(req.Src))
+	b = binary.BigEndian.AppendUint16(b, uint16(req.Dst))
+	pct := req.ThresholdPct
+	if pct < 0 {
+		pct = -1
+	}
+	b = binary.BigEndian.AppendUint16(b, uint16(int16(pct)))
+	return appendBlock(b, req.Block)
+}
+
+// parseRequest decodes a request frame.
+func parseRequest(p []byte) (id uint64, req Request, err error) {
+	if len(p) < 15 || p[0] != msgRequest {
+		return 0, req, errors.New("serve: malformed request frame")
+	}
+	id = binary.BigEndian.Uint64(p[1:])
+	req.Src = int(binary.BigEndian.Uint16(p[9:]))
+	req.Dst = int(binary.BigEndian.Uint16(p[11:]))
+	req.ThresholdPct = int(int16(binary.BigEndian.Uint16(p[13:])))
+	req.Tag = id
+	blk, rest, err := parseBlock(p[15:])
+	if err != nil {
+		return 0, req, err
+	}
+	if len(rest) != 0 {
+		return 0, req, errors.New("serve: trailing bytes after request")
+	}
+	req.Block = blk
+	return id, req, nil
+}
+
+// appendResponse serializes a result; the id is res.Tag.
+func appendResponse(b []byte, res Result) []byte {
+	b = append(b, msgResponse)
+	b = binary.BigEndian.AppendUint64(b, res.Tag)
+	switch {
+	case res.Err == nil:
+		b = append(b, statusOK)
+		b = appendBlock(b, res.Block)
+		b = binary.BigEndian.AppendUint32(b, uint32(res.BitsIn))
+		b = binary.BigEndian.AppendUint32(b, uint32(res.BitsOut))
+	case errors.Is(res.Err, ErrOverloaded):
+		b = append(b, statusOverloaded)
+	default:
+		msg := res.Err.Error()
+		if len(msg) > 1<<16-1 {
+			msg = msg[:1<<16-1]
+		}
+		b = append(b, statusError)
+		b = binary.BigEndian.AppendUint16(b, uint16(len(msg)))
+		b = append(b, msg...)
+	}
+	return b
+}
+
+// parseResponse decodes a response frame into a Result; wire statuses map
+// back to errors (overloaded becomes ErrOverloaded).
+func parseResponse(p []byte) (Result, error) {
+	var res Result
+	if len(p) < 10 || p[0] != msgResponse {
+		return res, errors.New("serve: malformed response frame")
+	}
+	res.Tag = binary.BigEndian.Uint64(p[1:])
+	status := p[9]
+	rest := p[10:]
+	switch status {
+	case statusOK:
+		blk, rest, err := parseBlock(rest)
+		if err != nil {
+			return res, err
+		}
+		if len(rest) != 8 {
+			return res, errors.New("serve: malformed response accounting")
+		}
+		res.Block = blk
+		res.BitsIn = int(binary.BigEndian.Uint32(rest))
+		res.BitsOut = int(binary.BigEndian.Uint32(rest[4:]))
+	case statusOverloaded:
+		res.Err = ErrOverloaded
+	case statusError:
+		if len(rest) < 2 {
+			return res, errors.New("serve: truncated error message")
+		}
+		n := int(binary.BigEndian.Uint16(rest))
+		if len(rest[2:]) < n {
+			return res, errors.New("serve: truncated error message")
+		}
+		res.Err = errors.New(string(rest[2 : 2+n]))
+	default:
+		return res, fmt.Errorf("serve: unknown response status %d", status)
+	}
+	return res, nil
+}

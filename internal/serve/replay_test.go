@@ -1,0 +1,181 @@
+package serve_test
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+
+	"approxnoc"
+	"approxnoc/internal/compress"
+	"approxnoc/internal/noc"
+	"approxnoc/internal/serve"
+	"approxnoc/internal/sim"
+	"approxnoc/internal/topology"
+	"approxnoc/internal/traffic"
+	"approxnoc/internal/workload"
+)
+
+// makeTrace records a deterministic mixed data/control trace over tiles
+// endpoints in the ANTR on-disk format and reads it back through
+// traffic.ReadTrace.
+func makeTrace(t *testing.T, tiles, records int, seed uint64) []workload.TraceRecord {
+	t.Helper()
+	m, err := workload.ByName("ssca2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := m.NewSource(seed, 0.75)
+	rng := sim.NewRand(seed + 1)
+	var buf bytes.Buffer
+	w, err := workload.NewTraceWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < records; i++ {
+		from := rng.Intn(tiles)
+		to := (from + 1 + rng.Intn(tiles-1)) % tiles
+		rec := workload.TraceRecord{Src: from, Dst: to}
+		if rng.Float64() < 0.7 {
+			rec.IsData = true
+			rec.Block = src.NextBlock()
+		}
+		if err := w.Write(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := traffic.ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != records {
+		t.Fatalf("read %d records, want %d", len(recs), records)
+	}
+	return recs
+}
+
+// TestReplayThroughGatewayMatchesSerialChannel is the trace round-trip
+// acceptance test: the data records of a recorded trace go through the
+// gateway's TCP client (concurrently) and through the serial
+// Channel.Transfer path, and at threshold 0 the delivered blocks must
+// match bit-for-bit.
+func TestReplayThroughGatewayMatchesSerialChannel(t *testing.T) {
+	const tiles = 16
+	recs := makeTrace(t, tiles, 400, 77)
+
+	ch, err := approxnoc.NewChannel(tiles, approxnoc.DIVaxx, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	type job struct {
+		idx      int
+		rec      workload.TraceRecord
+		want     *approxnoc.Block
+		got      *approxnoc.Block
+		gotBits  int
+		wantBits int
+	}
+	var jobs []*job
+	for i, rec := range recs {
+		if !rec.IsData {
+			continue
+		}
+		jobs = append(jobs, &job{idx: i, rec: rec, want: ch.Transfer(rec.Src, rec.Dst, rec.Block.Clone())})
+	}
+	if len(jobs) == 0 {
+		t.Fatal("trace has no data records")
+	}
+
+	_, addr := startServer(t, serve.Config{
+		Nodes: tiles, Scheme: compress.DIVaxx, ThresholdPct: 0, Shards: 4, QueueDepth: 1024,
+	})
+	const workers = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			cl, err := serve.Dial(addr)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer cl.Close()
+			for j := w; j < len(jobs); j += workers {
+				jb := jobs[j]
+				res, err := cl.Do(serve.Request{
+					Src: jb.rec.Src, Dst: jb.rec.Dst, Block: jb.rec.Block,
+					ThresholdPct: serve.DefaultThreshold,
+				})
+				if err != nil {
+					errs <- fmt.Errorf("record %d: %v", jb.idx, err)
+					return
+				}
+				jb.got = res.Block
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	for _, jb := range jobs {
+		if jb.got == nil {
+			t.Fatalf("record %d: no result", jb.idx)
+		}
+		if !jb.got.Equal(jb.want) {
+			t.Fatalf("record %d (%d->%d): gateway block diverges from serial Channel.Transfer", jb.idx, jb.rec.Src, jb.rec.Dst)
+		}
+		if !jb.got.Equal(jb.rec.Block) {
+			t.Fatalf("record %d: threshold 0 altered data", jb.idx)
+		}
+	}
+}
+
+// TestReplayIntoNetwork drives the same recorded trace through the
+// cycle-accurate path (traffic.Replay over a real NoC) and checks the
+// injection bookkeeping.
+func TestReplayIntoNetwork(t *testing.T) {
+	const tiles = 16
+	recs := makeTrace(t, tiles, 200, 78)
+	topo, err := topology.NewCMesh(2, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	factory, err := compress.FactoryFor(compress.DIVaxx, tiles, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := noc.New(topo, noc.DefaultConfig(), factory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rp, err := traffic.NewReplay(net, recs, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := traffic.RunReplay(net, rp, 200000)
+	if !rp.Done() {
+		t.Fatal("replay did not finish")
+	}
+	if rp.Sent()+rp.Skipped() != uint64(len(recs)) {
+		t.Fatalf("sent %d + skipped %d != %d records", rp.Sent(), rp.Skipped(), len(recs))
+	}
+	if res.Delivered < rp.Sent() {
+		t.Fatalf("delivered %d < sent %d", res.Delivered, rp.Sent())
+	}
+
+	// Error paths of NewReplay.
+	if _, err := traffic.NewReplay(net, recs, 0); err == nil {
+		t.Error("zero rate accepted")
+	}
+	bad := []workload.TraceRecord{{Src: 0, Dst: tiles}}
+	if _, err := traffic.NewReplay(net, bad, 1); err == nil {
+		t.Error("out-of-range record accepted")
+	}
+}

@@ -1,0 +1,184 @@
+package serve
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+// Server exposes a Gateway over TCP with the length-prefixed binary
+// protocol. Each connection gets one reader and one writer goroutine;
+// requests are pipelined — responses can return out of order and carry
+// the request id, so a single connection can keep many blocks in flight.
+type Server struct {
+	gw *Gateway
+
+	mu     sync.Mutex
+	ln     net.Listener
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// NewServer wraps a gateway. The server does not own the gateway: Close
+// stops the listener and connections but leaves the gateway running.
+func NewServer(gw *Gateway) *Server {
+	return &Server{gw: gw, conns: make(map[net.Conn]struct{})}
+}
+
+// Gateway returns the wrapped gateway.
+func (s *Server) Gateway() *Gateway { return s.gw }
+
+// Addr returns the listener address, nil before Serve.
+func (s *Server) Addr() net.Addr {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return nil
+	}
+	return s.ln.Addr()
+}
+
+// ListenAndServe listens on addr and serves until Close.
+func (s *Server) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("serve: %w", err)
+	}
+	return s.Serve(ln)
+}
+
+// Serve accepts connections on ln until Close (which returns nil) or an
+// accept error.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		ln.Close()
+		return ErrClosed
+	}
+	s.ln = ln
+	s.mu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return fmt.Errorf("serve: %w", err)
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return nil
+		}
+		s.conns[conn] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go s.handle(conn)
+	}
+}
+
+// Close stops the listener, closes every live connection, and waits for
+// the connection handlers to finish.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	ln := s.ln
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	s.wg.Wait()
+	return nil
+}
+
+// handle runs one connection: the reader loop parses request frames and
+// submits them; a writer goroutine serializes responses. Each in-flight
+// request gets a small forwarder goroutine bridging its reply channel to
+// the shared writer, so a stalled connection never blocks a shard worker.
+func (s *Server) handle(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		conn.Close()
+	}()
+
+	done := make(chan struct{})
+	defer close(done)
+	out := make(chan []byte, 64)
+	go func() {
+		w := bufio.NewWriter(conn)
+		for {
+			select {
+			case frame := <-out:
+				if err := writeFrame(w, frame); err != nil {
+					conn.Close() // unblocks the reader loop
+					return
+				}
+				// Flush when no more responses are immediately ready.
+				if len(out) == 0 {
+					if err := w.Flush(); err != nil {
+						conn.Close()
+						return
+					}
+				}
+			case <-done:
+				return
+			}
+		}
+	}()
+
+	send := func(frame []byte) {
+		select {
+		case out <- frame:
+		case <-done:
+		}
+	}
+
+	r := bufio.NewReader(conn)
+	var buf []byte
+	for {
+		frame, err := readFrame(r, buf)
+		if err != nil {
+			if errors.Is(err, io.EOF) || errors.Is(err, net.ErrClosed) {
+				return
+			}
+			return
+		}
+		buf = frame[:0]
+		id, req, err := parseRequest(frame)
+		if err != nil {
+			send(appendResponse(nil, Result{Tag: id, Err: err}))
+			continue
+		}
+		reply := make(chan Result, 1)
+		if err := s.gw.Submit(req, reply); err != nil {
+			send(appendResponse(nil, Result{Tag: id, Err: err}))
+			continue
+		}
+		go func() {
+			select {
+			case res := <-reply:
+				send(appendResponse(nil, res))
+			case <-done:
+			}
+		}()
+	}
+}

@@ -1,0 +1,212 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"approxnoc/internal/compress"
+	"approxnoc/internal/stats"
+)
+
+// pool is one consistent view of a codec fabric: the fabric itself plus
+// the per-node threshold bookkeeping that must change in lockstep with
+// it. In sharded mode every shard owns a private pool and mu is nil — the
+// shard worker is the single writer and no locking happens. In locked
+// mode all shards point at one shared pool and mu serializes them.
+type pool struct {
+	mu        *sync.Mutex // nil when exclusively owned by one shard
+	fabric    *compress.Fabric
+	threshold []int // current encoder threshold per node
+}
+
+func newPool(cfg Config, factory func(node int) compress.Codec, mu *sync.Mutex) *pool {
+	p := &pool{
+		mu:        mu,
+		fabric:    compress.NewFabric(cfg.Nodes, factory),
+		threshold: make([]int, cfg.Nodes),
+	}
+	for i := range p.threshold {
+		p.threshold[i] = cfg.ThresholdPct
+	}
+	return p
+}
+
+// transfer moves one request's block through the src/dst codec pair,
+// settling dictionary notifications, and returns the observed block plus
+// payload accounting. Only the pool's owning worker (or lock holder) may
+// call it.
+func (p *pool) transfer(req Request, defaultPct int) Result {
+	if p.mu != nil {
+		p.mu.Lock()
+		defer p.mu.Unlock()
+	}
+	want := req.ThresholdPct
+	switch {
+	case want == DefaultThreshold:
+		want = defaultPct
+	case want < 0: // ThresholdExact and any other negative
+		want = 0
+	}
+	if want != p.threshold[req.Src] {
+		adj, ok := p.fabric.Codec(req.Src).(compress.ThresholdAdjuster)
+		if !ok {
+			return Result{Tag: req.Tag, Err: fmt.Errorf("%w: %v", ErrThreshold, p.fabric.Codec(req.Src).Scheme())}
+		}
+		if err := adj.SetThreshold(want); err != nil {
+			return Result{Tag: req.Tag, Err: err}
+		}
+		p.threshold[req.Src] = want
+	}
+	enc := p.fabric.Codec(req.Src).Compress(req.Dst, req.Block)
+	out, notifs := p.fabric.Codec(req.Dst).Decompress(req.Src, enc)
+	p.fabric.Deliver(notifs)
+	return Result{
+		Tag:     req.Tag,
+		Block:   out,
+		BitsIn:  32 * len(req.Block.Words),
+		BitsOut: enc.Bits,
+	}
+}
+
+// stats snapshots the pool's codec statistics.
+func (p *pool) stats() compress.OpStats {
+	if p.mu != nil {
+		p.mu.Lock()
+		defer p.mu.Unlock()
+	}
+	return p.fabric.Stats()
+}
+
+// pending is one queued request awaiting its shard worker.
+type pending struct {
+	req   Request
+	reply chan<- Result
+	enq   time.Time
+}
+
+// shard is one slice of the gateway: a bounded queue, a codec pool, and
+// the counters describing what flowed through. Exactly one worker
+// goroutine drains the queue.
+type shard struct {
+	id         int
+	pool       *pool
+	queue      chan pending
+	statsReq   chan chan<- compress.OpStats
+	defaultPct int
+	maxBatch   int
+
+	// Counters are atomics: accepted/rejected are bumped by submitting
+	// goroutines, the rest by the worker, and all are read concurrently
+	// by Metrics.
+	accepted  atomic.Uint64
+	rejected  atomic.Uint64
+	processed atomic.Uint64
+	batches   atomic.Uint64
+	coalesced atomic.Uint64
+	dropped   atomic.Uint64
+	bitsIn    atomic.Uint64
+	bitsOut   atomic.Uint64
+	bytesIn   atomic.Uint64
+	bytesOut  atomic.Uint64
+	lat       stats.LatencyHist
+}
+
+func newShard(id int, p *pool, cfg Config) *shard {
+	return &shard{
+		id:         id,
+		pool:       p,
+		queue:      make(chan pending, cfg.QueueDepth),
+		statsReq:   make(chan chan<- compress.OpStats),
+		defaultPct: cfg.ThresholdPct,
+		maxBatch:   cfg.MaxBatch,
+	}
+}
+
+// run is the shard worker loop: block for one request, opportunistically
+// coalesce up to maxBatch-1 more already-queued ones into the same
+// dispatch, process, repeat. Returns when the queue is closed and
+// drained.
+func (s *shard) run(wg *sync.WaitGroup) {
+	defer wg.Done()
+	batch := make([]pending, 0, s.maxBatch)
+	for {
+		var p pending
+		var ok bool
+		select {
+		case p, ok = <-s.queue:
+			if !ok {
+				return
+			}
+		case r := <-s.statsReq:
+			r <- s.pool.stats()
+			continue
+		}
+		batch = append(batch[:0], p)
+	fill:
+		for len(batch) < s.maxBatch {
+			select {
+			case p, ok := <-s.queue:
+				if !ok {
+					s.process(batch)
+					return
+				}
+				batch = append(batch, p)
+			default:
+				break fill
+			}
+		}
+		s.process(batch)
+	}
+}
+
+// process services one coalesced batch.
+func (s *shard) process(batch []pending) {
+	s.batches.Add(1)
+	if len(batch) > 1 {
+		s.coalesced.Add(uint64(len(batch)))
+	}
+	for _, p := range batch {
+		res := s.pool.transfer(p.req, s.defaultPct)
+		if res.Err == nil {
+			s.bitsIn.Add(uint64(res.BitsIn))
+			s.bitsOut.Add(uint64(res.BitsOut))
+			s.bytesIn.Add(uint64(p.req.Block.Bytes()))
+			s.bytesOut.Add(uint64((res.BitsOut + 7) / 8))
+		}
+		s.processed.Add(1)
+		s.lat.Observe(time.Since(p.enq))
+		if p.reply != nil {
+			// Reply channels must have a free slot per outstanding
+			// request (Do uses a dedicated 1-buffered channel); a full
+			// one is dropped rather than stalling the whole shard.
+			select {
+			case p.reply <- res:
+			default:
+				s.dropped.Add(1)
+			}
+		}
+	}
+}
+
+// metrics snapshots the shard's counters.
+func (s *shard) metrics() ShardMetrics {
+	snap := s.lat.Snapshot()
+	return ShardMetrics{
+		Shard:          s.id,
+		Accepted:       s.accepted.Load(),
+		Rejected:       s.rejected.Load(),
+		Processed:      s.processed.Load(),
+		Batches:        s.batches.Load(),
+		Coalesced:      s.coalesced.Load(),
+		DroppedReplies: s.dropped.Load(),
+		BitsIn:         s.bitsIn.Load(),
+		BitsOut:        s.bitsOut.Load(),
+		BytesIn:        s.bytesIn.Load(),
+		BytesOut:       s.bytesOut.Load(),
+		P50:            snap.Quantile(0.50),
+		P99:            snap.Quantile(0.99),
+		latency:        snap,
+	}
+}

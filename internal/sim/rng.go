@@ -8,8 +8,12 @@ package sim
 import "math"
 
 // Rand is a small, fast, deterministic PRNG (splitmix64-seeded
-// xoshiro256**). It is deliberately not safe for concurrent use; each
-// simulated component owns its own stream.
+// xoshiro256**). It is deliberately NOT safe for concurrent use — the
+// state advances unguarded on every draw — and must never be shared
+// between goroutines: each simulated component (and each concurrent
+// client in tests) owns its own seeded stream, which is also what keeps
+// runs reproducible. For parallel serving, follow the shard-ownership
+// model of internal/serve rather than guarding a shared stream.
 type Rand struct {
 	s [4]uint64
 }

@@ -1,0 +1,29 @@
+#!/bin/sh
+# check.sh — the verification gate: formatting, vet, build, and the test
+# suite under the race detector (the internal/serve tests hammer the
+# gateway with >100 concurrent clients, so -race is the part that
+# actually guards the concurrency contracts). The race run uses -short:
+# the heavyweight experiment-driver sweeps skip themselves there (they
+# exceed the test timeout under the ~10x race slowdown) while the serve
+# stress tests run in full. `go test ./...` covers the long tests.
+set -eu
+cd "$(dirname "$0")/.."
+
+echo '>> gofmt'
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+echo '>> go vet ./...'
+go vet ./...
+
+echo '>> go build ./...'
+go build ./...
+
+echo '>> go test -race -short ./...'
+go test -race -short ./...
+
+echo 'check: all green'
