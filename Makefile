@@ -1,10 +1,15 @@
 # Standard entry points; `make check` is the tier-1 verification gate
-# (gofmt + vet + build + race-detector test run).
+# (gofmt + vet + build + race-detector test run + coverage summary).
+# `make check FUZZ=1` additionally runs the fuzz smoke pass;
+# `make fuzz-smoke` runs it alone. FUZZTIME tunes the per-target budget.
 
-.PHONY: check test build bench
+.PHONY: check test build bench fuzz-smoke
 
 check:
-	./scripts/check.sh
+	FUZZ=$(FUZZ) ./scripts/check.sh
+
+fuzz-smoke:
+	./scripts/fuzz_smoke.sh
 
 build:
 	go build ./...

@@ -1,0 +1,55 @@
+// Command approxnoc-vectors regenerates (or verifies) the checked-in
+// golden test vectors. Run from the repository root:
+//
+//	go run ./cmd/approxnoc-vectors            # rewrite all golden files
+//	go run ./cmd/approxnoc-vectors -check     # verify without writing
+//	go run ./cmd/approxnoc-vectors -list      # show the files covered
+//
+// Generation is deterministic for a given -seed; the per-package golden
+// tests pin the checked-in files to the default seed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"approxnoc/internal/vectors"
+)
+
+func main() {
+	var (
+		seed  = flag.Uint64("seed", vectors.DefaultSeed, "generation seed")
+		root  = flag.String("root", ".", "repository root the golden paths are relative to")
+		check = flag.Bool("check", false, "verify files instead of writing them")
+		list  = flag.Bool("list", false, "list golden files and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, s := range vectors.Suites {
+			fmt.Printf("%-8s %s\n", s.Name, s.Path)
+		}
+		return
+	}
+	if *check {
+		bad, err := vectors.VerifyAll(*root, *seed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "approxnoc-vectors:", err)
+			os.Exit(1)
+		}
+		if len(bad) > 0 {
+			for _, p := range bad {
+				fmt.Fprintf(os.Stderr, "approxnoc-vectors: %s is stale or missing\n", p)
+			}
+			os.Exit(1)
+		}
+		fmt.Printf("approxnoc-vectors: %d golden files up to date\n", len(vectors.Suites))
+		return
+	}
+	if err := vectors.WriteAll(*root, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "approxnoc-vectors:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("approxnoc-vectors: wrote %d golden files under %s\n", len(vectors.Suites), *root)
+}

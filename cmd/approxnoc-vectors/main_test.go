@@ -1,0 +1,38 @@
+package main
+
+import (
+	"testing"
+
+	"approxnoc/internal/vectors"
+)
+
+// TestCheckedInVectorsRegenerate is the acceptance gate: every golden
+// file in the repository must regenerate byte-identically with the
+// default seed.
+func TestCheckedInVectorsRegenerate(t *testing.T) {
+	bad, err := vectors.VerifyAll("../..", vectors.DefaultSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range bad {
+		t.Errorf("%s is stale or missing; run: go run ./cmd/approxnoc-vectors", p)
+	}
+}
+
+// TestGenerateDeterministic pins that two independent generations of
+// every suite agree — no hidden time, map-order, or rand dependence.
+func TestGenerateDeterministic(t *testing.T) {
+	for _, s := range vectors.Suites {
+		a, err := vectors.Generate(s.Name, vectors.DefaultSeed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := vectors.Generate(s.Name, vectors.DefaultSeed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(a) != string(b) {
+			t.Errorf("suite %s is nondeterministic", s.Name)
+		}
+	}
+}

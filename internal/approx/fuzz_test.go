@@ -1,0 +1,70 @@
+// Fuzzing of the VAXX error-bound machinery against the oracle's
+// mask-contract and relative-error specifications.
+package approx_test
+
+import (
+	"math"
+	"testing"
+
+	"approxnoc/internal/approx"
+	"approxnoc/internal/oracle"
+	"approxnoc/internal/value"
+)
+
+// FuzzVAXXErrorBound checks, for an arbitrary word, threshold, and probe:
+//
+//   - AVCL don't-care masks obey the oracle contract — contiguous low
+//     bits, sign bit untouched for integers, mantissa-confined for
+//     floats, every mask-family member within the threshold;
+//   - special floats are never granted a mask;
+//   - value.RelError is total (never NaN, never negative) and agrees
+//     with the oracle's independent spec;
+//   - WithinThreshold is consistent with RelError.
+func FuzzVAXXErrorBound(f *testing.F) {
+	f.Add(uint32(0x3F800000), true, uint32(5), uint32(0x7FC00000)) // finite approximated by NaN
+	f.Add(uint32(0x00000000), false, uint32(0), uint32(0xFFFFFFFF))
+	f.Add(uint32(0x80000000), false, uint32(100), uint32(0x7FFFFFFF)) // MinInt32 at max threshold
+	f.Add(uint32(0x00000001), true, uint32(10), uint32(0x00000000))   // denormal
+	f.Fuzz(func(t *testing.T, w uint32, isFloat bool, pct, probe uint32) {
+		thr := int(pct % 101)
+		dt := value.Int32
+		if isFloat {
+			dt = value.Float32
+		}
+		a, err := approx.New(thr)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		mask, ok := a.MaskWord(w, dt)
+		if !ok {
+			if dt != value.Float32 || !value.IsSpecialFloat(w) {
+				t.Fatalf("MaskWord(%#08x, %v) refused a maskable word", w, dt)
+			}
+		} else {
+			if dt == value.Float32 && value.IsSpecialFloat(w) && mask != 0 {
+				t.Fatalf("special float %#08x granted mask %#08x", w, mask)
+			}
+			if err := oracle.MaskContract(w, dt, thr, mask, probe); err != nil {
+				t.Fatalf("mask contract @%d%%: %v", thr, err)
+			}
+		}
+
+		got := value.RelError(w, probe, dt)
+		if math.IsNaN(got) {
+			t.Fatalf("RelError(%#08x, %#08x, %v) = NaN", w, probe, dt)
+		}
+		if got < 0 {
+			t.Fatalf("RelError(%#08x, %#08x, %v) = %g < 0", w, probe, dt, got)
+		}
+		if want := oracle.RelError(w, probe, dt); got != want {
+			t.Fatalf("RelError(%#08x, %#08x, %v) = %g, oracle spec says %g", w, probe, dt, got, want)
+		}
+
+		within := a.WithinThreshold(w, probe, dt)
+		if want := got <= float64(thr)/100; within != want {
+			t.Fatalf("WithinThreshold(%#08x, %#08x)@%d%% = %v, but RelError = %g",
+				w, probe, thr, within, got)
+		}
+	})
+}

@@ -1,0 +1,27 @@
+package approx_test
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"approxnoc/internal/vectors"
+)
+
+// TestGoldenVectors pins the AVCL don't-care masks: the checked-in
+// vectors must regenerate byte-identically from today's mask logic.
+func TestGoldenVectors(t *testing.T) {
+	want, err := vectors.Generate("masks", vectors.DefaultSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(filepath.Join("testdata", "golden_masks.txt"))
+	if err != nil {
+		t.Fatalf("%v (run: go run ./cmd/approxnoc-vectors)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Error("golden_masks.txt does not match the current mask output; " +
+			"if the change is intended, run: go run ./cmd/approxnoc-vectors")
+	}
+}

@@ -133,6 +133,14 @@ func (c *bdiCodec) Compress(dst int, blk *value.Block) *Encoded {
 		base := blk.Words[0]
 		encoded := false
 		for _, width := range bdWidths {
+			// A delta mode spends 32 base bits plus width per word; skip
+			// widths that cannot beat raw mode (32 per word), or tiny
+			// blocks would expand past the raw+header size bound (found
+			// by FuzzBDIRoundTrip; seed committed under
+			// internal/compress/testdata/fuzz).
+			if 32+int(width.bits)*len(blk.Words) > 32*len(blk.Words) {
+				continue
+			}
 			ws, ok := c.tryWidth(blk, base, width.bits)
 			if !ok {
 				continue

@@ -595,6 +595,62 @@ func (d *dictCodec) handleAck(n Notification) []Notification {
 // decoder entry — zero under the in-order delivery the NI guarantees.
 func (d *dictCodec) DecodeMismatches() uint64 { return d.decodeMismatch }
 
+// DictMapping is one live encoder-PMT mapping toward a destination: the
+// decoder-PMT index that destination assigned and the original pattern
+// recorded alongside it (the "idx / op" pair of Fig. 8). Exported for
+// the oracle's PMT-synchronization audit.
+type DictMapping struct {
+	Index   int
+	Pattern value.Word
+}
+
+// DictIntrospector exposes the dictionary tables for invariant checks;
+// internal/oracle audits encoder/decoder synchronization through it.
+// The views are read-only snapshots and must not be used on the hot
+// path.
+type DictIntrospector interface {
+	// EncoderMappings lists this codec's valid encoder-PMT mappings
+	// toward destination node dst.
+	EncoderMappings(dst int) []DictMapping
+	// DecoderEntry returns decoder-PMT row idx.
+	DecoderEntry(idx int) (pattern value.Word, dt value.DataType, valid bool)
+	// DecoderMapsEncoder reports whether decoder row idx carries the
+	// valid bit for encoder node encNode.
+	DecoderMapsEncoder(idx, encNode int) bool
+}
+
+// EncoderMappings implements DictIntrospector.
+func (d *dictCodec) EncoderMappings(dst int) []DictMapping {
+	if dst < 0 || dst >= d.cfg.Nodes {
+		return nil
+	}
+	var out []DictMapping
+	for slot := range d.encDest {
+		if ref := d.encDest[slot][dst]; ref.valid {
+			out = append(out, DictMapping{Index: ref.idx, Pattern: ref.orig})
+		}
+	}
+	return out
+}
+
+// DecoderEntry implements DictIntrospector.
+func (d *dictCodec) DecoderEntry(idx int) (value.Word, value.DataType, bool) {
+	if idx < 0 || idx >= len(d.dec) || !d.dec[idx].valid {
+		return 0, 0, false
+	}
+	e := &d.dec[idx]
+	return e.pattern, e.dtype, true
+}
+
+// DecoderMapsEncoder implements DictIntrospector.
+func (d *dictCodec) DecoderMapsEncoder(idx, encNode int) bool {
+	if idx < 0 || idx >= len(d.dec) || encNode < 0 || encNode >= d.cfg.Nodes {
+		return false
+	}
+	e := &d.dec[idx]
+	return e.valid && e.validBits[encNode]
+}
+
 func (d *dictCodec) Stats() OpStats {
 	s := d.stats
 	if d.cam != nil {

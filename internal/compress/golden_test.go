@@ -1,0 +1,31 @@
+package compress_test
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"approxnoc/internal/vectors"
+)
+
+// TestGoldenVectors pins the codec wire formats: the checked-in vectors
+// must regenerate byte-identically from today's encoders. A diff means
+// the encoded format changed — decide whether that is intended, then
+// regenerate with `go run ./cmd/approxnoc-vectors`.
+func TestGoldenVectors(t *testing.T) {
+	for _, name := range []string{"fpc", "bdi", "dict"} {
+		want, err := vectors.Generate(name, vectors.DefaultSeed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := os.ReadFile(filepath.Join("testdata", "golden_"+name+".txt"))
+		if err != nil {
+			t.Fatalf("%s: %v (run: go run ./cmd/approxnoc-vectors)", name, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("golden_%s.txt does not match the current encoder output; "+
+				"if the format change is intended, run: go run ./cmd/approxnoc-vectors", name)
+		}
+	}
+}

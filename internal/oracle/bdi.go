@@ -1,0 +1,112 @@
+package oracle
+
+import (
+	"fmt"
+
+	"approxnoc/internal/value"
+)
+
+// Reference BD-COMP: the base-delta layout written out longhand. The
+// whole block must fit one signed delta width off the first word; the
+// all-zero block and the incompressible block get their own modes.
+
+func deltaFits(w, base value.Word, bits uint) bool {
+	d := int64(int32(w)) - int64(int32(base))
+	return d >= -(int64(1)<<(bits-1)) && d <= int64(1)<<(bits-1)-1
+}
+
+// BDIEncode returns the reference network representation of an exact
+// base-delta encoding.
+func BDIEncode(words []value.Word) (payload []byte, bits int) {
+	var b bitstring
+	if len(words) == 0 {
+		b.append(0, 3) // raw mode, no words
+		return b.packed(), b.len()
+	}
+	allZero := true
+	for _, w := range words {
+		if w != 0 {
+			allZero = false
+			break
+		}
+	}
+	if allZero {
+		b.append(1, 3) // zero mode
+		return b.packed(), b.len()
+	}
+	base := words[0]
+	for _, layout := range []struct {
+		mode  uint32
+		width uint
+	}{{2, 4}, {3, 8}, {4, 16}} {
+		// Delta modes pay 32 base bits plus width per word; they are only
+		// eligible when that is no larger than raw's 32 bits per word.
+		if 32+int(layout.width)*len(words) > 32*len(words) {
+			continue
+		}
+		ok := true
+		for _, w := range words {
+			if !deltaFits(w, base, layout.width) {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		b.append(layout.mode, 3)
+		b.append(base, 32)
+		for _, w := range words {
+			d := int64(int32(w)) - int64(int32(base))
+			b.append(uint32(d)&(1<<layout.width-1), int(layout.width))
+		}
+		return b.packed(), b.len()
+	}
+	b.append(0, 3) // raw mode
+	for _, w := range words {
+		b.append(w, 32)
+	}
+	return b.packed(), b.len()
+}
+
+// BDIDecode independently decodes a base-delta payload into numWords
+// words.
+func BDIDecode(payload []byte, numWords int) ([]value.Word, error) {
+	if numWords == 0 {
+		return nil, nil
+	}
+	c := &bitcursor{buf: payload}
+	mode, err := c.read(3)
+	if err != nil {
+		return nil, err
+	}
+	words := make([]value.Word, numWords)
+	switch mode {
+	case 1: // zero block
+	case 0: // raw
+		for i := range words {
+			if words[i], err = c.read(32); err != nil {
+				return nil, err
+			}
+		}
+	case 2, 3, 4:
+		width := map[uint32]uint{2: 4, 3: 8, 4: 16}[mode]
+		baseBits, err := c.read(32)
+		if err != nil {
+			return nil, err
+		}
+		base := int64(int32(baseBits))
+		for i := range words {
+			raw, err := c.read(int(width))
+			if err != nil {
+				return nil, err
+			}
+			shift := 32 - width
+			delta := int64(int32(raw<<shift) >> shift)
+			words[i] = value.Word(int32(base + delta))
+		}
+	default:
+		return nil, fmt.Errorf("oracle: unknown base-delta mode %d", mode)
+	}
+	return words, nil
+}

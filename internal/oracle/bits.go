@@ -1,0 +1,52 @@
+package oracle
+
+import "errors"
+
+// bitstring is the oracle's deliberately naive bitstream: one byte per
+// bit, packed only on demand. Slow and obvious on purpose — it exists to
+// cross-check the optimized bitWriter/bitReader in internal/compress.
+type bitstring struct {
+	bits []byte // each element 0 or 1, MSB-first
+}
+
+func (b *bitstring) append(v uint32, width int) {
+	for i := width - 1; i >= 0; i-- {
+		b.bits = append(b.bits, byte(v>>uint(i))&1)
+	}
+}
+
+func (b *bitstring) len() int { return len(b.bits) }
+
+// packed returns the byte-packed form, MSB-first within each byte,
+// matching the network representation internal/compress emits.
+func (b *bitstring) packed() []byte {
+	out := make([]byte, (len(b.bits)+7)/8)
+	for i, bit := range b.bits {
+		if bit != 0 {
+			out[i/8] |= 1 << uint(7-i%8)
+		}
+	}
+	return out
+}
+
+// errTruncated reports a reference decode that ran past the payload.
+var errTruncated = errors.New("oracle: payload truncated")
+
+// bitcursor reads a packed payload bit by bit.
+type bitcursor struct {
+	buf []byte
+	pos int
+}
+
+func (c *bitcursor) read(width int) (uint32, error) {
+	var v uint32
+	for i := 0; i < width; i++ {
+		byteIdx := c.pos / 8
+		if byteIdx >= len(c.buf) {
+			return 0, errTruncated
+		}
+		v = v<<1 | uint32(c.buf[byteIdx]>>uint(7-c.pos%8))&1
+		c.pos++
+	}
+	return v, nil
+}

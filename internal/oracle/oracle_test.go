@@ -1,0 +1,126 @@
+package oracle
+
+import (
+	"math"
+	"testing"
+
+	"approxnoc/internal/value"
+)
+
+func TestFPCReferenceRoundTrip(t *testing.T) {
+	cases := [][]value.Word{
+		nil,
+		{0},
+		{0, 0, 0, 0, 0, 0, 0, 0, 0, 0}, // crosses the 8-word run cap
+		{7, 0xFFFFFFF9},                // ±4-bit sign extension
+		{0x7F, 0xFFFFFF80},
+		{0x7FFF, 0xFFFF8000},
+		{0xABCD0000},             // half zero
+		{0x007F00FF, 0xFF80FF80}, // two sign-extended halves
+		{0xDEADBEEF, 0x12345678},
+		{0, 1, 0x7F, 0x8000, 0xABCD0000, 0xDEADBEEF, 0, 0},
+	}
+	for _, words := range cases {
+		payload, bits := FPCEncode(words)
+		if want := (bits + 7) / 8; len(payload) != want {
+			t.Fatalf("FPCEncode(%#x): %d payload bytes for %d bits", words, len(payload), want)
+		}
+		got, err := FPCDecode(payload, len(words))
+		if err != nil {
+			t.Fatalf("FPCDecode(%#x): %v", words, err)
+		}
+		if len(got) != len(words) {
+			t.Fatalf("FPCDecode(%#x): %d words, want %d", words, len(got), len(words))
+		}
+		for i := range words {
+			if got[i] != words[i] {
+				t.Fatalf("FPC round trip changed word %d: %#08x -> %#08x", i, words[i], got[i])
+			}
+		}
+	}
+}
+
+func TestFPCDecodeRejectsDamage(t *testing.T) {
+	if _, err := FPCDecode(nil, 1); err == nil {
+		t.Fatal("decoding an empty payload should fail")
+	}
+	// 110 prefix is unused in Fig. 5.
+	if _, err := FPCDecode([]byte{0b110_00000}, 1); err == nil {
+		t.Fatal("the unused 110 prefix should be rejected")
+	}
+	// A zero run of 2 into a 1-word block overflows.
+	if _, err := FPCDecode([]byte{0b000_001_00}, 1); err == nil {
+		t.Fatal("an overlong zero run should be rejected")
+	}
+}
+
+func TestBDIReferenceRoundTrip(t *testing.T) {
+	cases := [][]value.Word{
+		nil,
+		{0, 0, 0, 0},
+		{100, 101, 99, 102},                     // 4-bit deltas
+		{1000, 1100, 950, 1010},                 // 8-bit deltas
+		{1 << 20, 1<<20 + 30000, 1<<20 - 30000}, // 16-bit deltas
+		{0, 0x40000000, 0x80000000, 0xDEADBEEF}, // incompressible
+		{value.I32(-5), value.I32(-7), value.I32(-4)},
+	}
+	for _, words := range cases {
+		payload, bits := BDIEncode(words)
+		got, err := BDIDecode(payload, len(words))
+		if err != nil {
+			t.Fatalf("BDIDecode(%#x): %v", words, err)
+		}
+		if len(got) != len(words) {
+			t.Fatalf("BDIDecode(%#x): %d words, want %d", words, len(got), len(words))
+		}
+		for i := range words {
+			if got[i] != words[i] {
+				t.Fatalf("BDI round trip changed word %d: %#08x -> %#08x", i, words[i], got[i])
+			}
+		}
+		_ = bits
+	}
+}
+
+func TestRelErrorSpec(t *testing.T) {
+	nan1 := value.Word(0x7FC00000)
+	nan2 := value.Word(0x7FC00001)
+	inf := value.F32(float32(math.Inf(1)))
+	cases := []struct {
+		name         string
+		orig, approx value.Word
+		dt           value.DataType
+		want         float64
+	}{
+		{"identical NaN payloads", nan1, nan1, value.Float32, 0},
+		{"different NaN payloads", nan1, nan2, value.Float32, 1},
+		{"NaN from finite", value.F32(1), nan1, value.Float32, math.Inf(1)},
+		{"Inf from finite", value.F32(1), inf, value.Float32, math.Inf(1)},
+		{"finite from Inf", inf, value.F32(1), value.Float32, 1},
+		{"negative zero vs zero", value.F32(float32(math.Copysign(0, -1))), value.F32(0), value.Float32, 0},
+		{"zero to nonzero", value.F32(0), value.F32(1), value.Float32, 1},
+		{"halving", value.F32(2), value.F32(1), value.Float32, 0.5},
+		{"int zero to one", 0, 1, value.Int32, 1},
+		{"int sign flip", value.I32(10), value.I32(-10), value.Int32, 2},
+	}
+	for _, c := range cases {
+		if got := RelError(c.orig, c.approx, c.dt); got != c.want {
+			t.Errorf("%s: RelError = %g, want %g", c.name, got, c.want)
+		}
+	}
+}
+
+func TestMaskContract(t *testing.T) {
+	if err := MaskContract(1000, value.Int32, 10, 0x3F, 0); err != nil {
+		t.Errorf("63/1000 is within 10%%: %v", err)
+	}
+	if err := MaskContract(1000, value.Int32, 1, 0xFF, 0); err == nil {
+		t.Error("255/1000 exceeds 1% but passed")
+	}
+	if err := MaskContract(1000, value.Int32, 10, 0x5, 0); err == nil {
+		t.Error("non-contiguous mask should be rejected")
+	}
+	if err := MaskContract(value.F32(1.5), value.Float32, 10, 1<<24-1, 0); err == nil {
+		t.Error("mask escaping the mantissa should be rejected")
+	}
+}

@@ -1,0 +1,82 @@
+package oracle
+
+import (
+	"fmt"
+	"math"
+
+	"approxnoc/internal/value"
+)
+
+// RelError is the specification of the per-word relative error metric,
+// reimplemented independently of internal/value so the fuzzers can
+// differential-test the production math. The cases, in order:
+//
+//   - Bit-identical words have zero error, including NaNs with equal
+//     payloads.
+//   - A NaN or infinite original cannot be meaningfully approximated;
+//     any bit change counts as total (1.0) error.
+//   - An approximation that turns a finite original into NaN or an
+//     infinity has unbounded error (+Inf), so no finite threshold ever
+//     admits it.
+//   - A zero original (either float sign, or integer 0) approximated by
+//     any nonzero value counts as total (1.0) error; ±0.0 are value
+//     equal and count as zero error.
+//   - Otherwise the error is |orig-approx| / |orig| in the block's
+//     interpretation.
+func RelError(orig, approx value.Word, dt value.DataType) float64 {
+	if orig == approx {
+		return 0
+	}
+	if dt == value.Float32 {
+		fo := float64(math.Float32frombits(orig))
+		fa := float64(math.Float32frombits(approx))
+		if math.IsNaN(fo) || math.IsInf(fo, 0) {
+			return 1
+		}
+		if math.IsNaN(fa) || math.IsInf(fa, 0) {
+			return math.Inf(1)
+		}
+		if fo == 0 {
+			if fa == 0 {
+				return 0
+			}
+			return 1
+		}
+		return math.Abs(fo-fa) / math.Abs(fo)
+	}
+	io, ia := int64(int32(orig)), int64(int32(approx))
+	if io == 0 {
+		return 1 // ia != io, both exact integers
+	}
+	return math.Abs(float64(io-ia)) / math.Abs(float64(io))
+}
+
+// MaskContract verifies a don't-care mask the AVCL computed for word w
+// under a threshold of pct percent: the mask must be a contiguous run of
+// low bits (the hardware's shift-derived form), must stay inside the
+// mantissa for floats, and every word in the pattern family the mask
+// induces must stay within the threshold. probe is one extra family
+// member to test (the corners are always tested); pass w to skip it.
+func MaskContract(w value.Word, dt value.DataType, pct int, mask uint32, probe uint32) error {
+	if mask&(mask+1) != 0 {
+		return fmt.Errorf("oracle: mask %#08x is not a contiguous low-bit run", mask)
+	}
+	if dt == value.Float32 {
+		if value.IsSpecialFloat(w) && mask != 0 {
+			return fmt.Errorf("oracle: special float %#08x received nonzero mask %#08x", w, mask)
+		}
+		if mask > value.MantissaMask {
+			return fmt.Errorf("oracle: float mask %#08x escapes the mantissa", mask)
+		}
+	} else if mask&(1<<31) != 0 {
+		return fmt.Errorf("oracle: integer mask %#08x covers the sign bit", mask)
+	}
+	bound := float64(pct)/100 + errEps
+	for _, member := range []uint32{w &^ mask, w | mask, w&^mask | probe&mask} {
+		if re := RelError(w, member, dt); re > bound {
+			return fmt.Errorf("oracle: family member %#08x of %#08x under mask %#08x errs by %g > %d%%",
+				member, w, mask, re, pct)
+		}
+	}
+	return nil
+}

@@ -65,6 +65,10 @@ func (c *Client) Transfer(src, dst int, blk *value.Block) (*value.Block, error) 
 // (ErrOverloaded round-trips as itself).
 func (c *Client) Do(req Request) (Result, error) {
 	id := c.nextID.Add(1)
+	frame, err := MarshalRequest(id, req)
+	if err != nil {
+		return Result{}, err
+	}
 	ch := make(chan Result, 1)
 
 	c.mu.Lock()
@@ -76,9 +80,8 @@ func (c *Client) Do(req Request) (Result, error) {
 	c.pending[id] = ch
 	c.mu.Unlock()
 
-	frame := appendRequest(nil, id, req)
 	c.wmu.Lock()
-	err := writeFrame(c.w, frame)
+	err = writeFrame(c.w, frame)
 	if err == nil {
 		err = c.w.Flush()
 	}

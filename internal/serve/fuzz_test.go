@@ -1,0 +1,125 @@
+// Fuzzing of the gateway wire protocol: adversarial frames must never
+// panic or over-allocate, anything that parses must re-marshal to a
+// frame that parses to the same meaning, and unrepresentable blocks
+// must be refused at marshal time instead of shipped corrupted.
+package serve
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"testing"
+
+	"approxnoc/internal/value"
+)
+
+// sameWireErr reports whether two per-request errors mean the same thing
+// on the wire: both nil, both the overload signal, or the same message.
+func sameWireErr(a, b error) bool {
+	if a == nil || b == nil {
+		return a == nil && b == nil
+	}
+	if errors.Is(a, ErrOverloaded) || errors.Is(b, ErrOverloaded) {
+		return errors.Is(a, ErrOverloaded) && errors.Is(b, ErrOverloaded)
+	}
+	return a.Error() == b.Error()
+}
+
+func FuzzProtocolFrame(f *testing.F) {
+	// Well-formed request and response frames as starting points.
+	blk := value.BlockFromI32([]int32{1, -2, 3, 4}, true)
+	reqFrame, _ := MarshalRequest(42, Request{Src: 1, Dst: 2, ThresholdPct: 10, Block: blk})
+	f.Add(reqFrame)
+	okFrame, _ := MarshalResponse(Result{Tag: 42, Block: blk, BitsIn: 128, BitsOut: 77})
+	f.Add(okFrame)
+	overFrame, _ := MarshalResponse(Result{Tag: 7, Err: ErrOverloaded})
+	f.Add(overFrame)
+	errFrame, _ := MarshalResponse(Result{Tag: 7, Err: errors.New("boom")})
+	f.Add(errFrame)
+	// The silent-truncation repro: leading uint32 drives the constructed
+	// block size below past MaxBlockWords.
+	f.Add([]byte{0x00, 0x01, 0x11, 0x70}) // 70000 words
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Adversarial parse: must not panic; a successful parse must
+		// survive a marshal/parse round trip with identical meaning.
+		if id, req, err := parseRequest(data); err == nil {
+			frame, err := MarshalRequest(id, req)
+			if err != nil {
+				t.Fatalf("parsed request does not re-marshal: %v", err)
+			}
+			id2, req2, err := parseRequest(frame)
+			if err != nil {
+				t.Fatalf("re-marshaled request does not parse: %v", err)
+			}
+			// All negative thresholds normalize to -1 (ThresholdExact).
+			want, got := req.ThresholdPct, req2.ThresholdPct
+			if want < 0 {
+				want = -1
+			}
+			if id2 != id || req2.Src != req.Src || req2.Dst != req.Dst || got != want ||
+				!req2.Block.Equal(req.Block) || req2.Block.DType != req.Block.DType ||
+				req2.Block.Approximable != req.Block.Approximable {
+				t.Fatalf("request changed meaning across round trip: %+v vs %+v", req, req2)
+			}
+		}
+		if res, err := parseResponse(data); err == nil {
+			frame, err := MarshalResponse(res)
+			if err != nil {
+				t.Fatalf("parsed response does not re-marshal: %v", err)
+			}
+			res2, err := parseResponse(frame)
+			if err != nil {
+				t.Fatalf("re-marshaled response does not parse: %v", err)
+			}
+			if res2.Tag != res.Tag || !sameWireErr(res.Err, res2.Err) {
+				t.Fatalf("response changed meaning across round trip: %+v vs %+v", res, res2)
+			}
+			if res.Err == nil {
+				if !res2.Block.Equal(res.Block) || res2.BitsIn != res.BitsIn || res2.BitsOut != res.BitsOut {
+					t.Fatalf("response payload changed across round trip: %+v vs %+v", res, res2)
+				}
+			}
+		}
+
+		// Framing layer: arbitrary streams must never hand back a frame
+		// above the cap, and must terminate with an error, not a panic.
+		r := bytes.NewReader(data)
+		var buf []byte
+		for {
+			frame, err := readFrame(r, buf)
+			if err != nil {
+				break
+			}
+			if len(frame) > MaxFrameBytes {
+				t.Fatalf("readFrame returned %d bytes, above the %d cap", len(frame), MaxFrameBytes)
+			}
+			buf = frame[:0]
+		}
+
+		// Constructed block: the leading bytes pick a word count; the
+		// marshaler must refuse anything the uint16 wire field cannot
+		// carry (it used to truncate silently) and round-trip the rest.
+		if len(data) >= 4 {
+			n := int(binary.BigEndian.Uint32(data)) % (2 * MaxBlockWords)
+			big := &value.Block{Words: make([]value.Word, n), DType: value.Int32}
+			frame, err := MarshalRequest(9, Request{Src: 1, Dst: 2, Block: big})
+			if n == 0 || n > MaxBlockWords {
+				if err == nil {
+					t.Fatalf("MarshalRequest accepted an unrepresentable %d-word block", n)
+				}
+			} else {
+				if err != nil {
+					t.Fatalf("MarshalRequest refused a representable %d-word block: %v", n, err)
+				}
+				_, req, err := parseRequest(frame)
+				if err != nil {
+					t.Fatalf("marshaled %d-word request does not parse: %v", n, err)
+				}
+				if len(req.Block.Words) != n {
+					t.Fatalf("word count corrupted on the wire: sent %d, received %d", n, len(req.Block.Words))
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,30 @@
+package serve_test
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"approxnoc/internal/vectors"
+)
+
+// TestGoldenVectors pins the wire protocol byte layout: the checked-in
+// request/response frames must regenerate identically from today's
+// marshaler. A diff means the wire format changed — a compatibility
+// break for deployed peers, so make it deliberate, then regenerate with
+// `go run ./cmd/approxnoc-vectors`.
+func TestGoldenVectors(t *testing.T) {
+	want, err := vectors.Generate("frames", vectors.DefaultSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(filepath.Join("testdata", "golden_frames.txt"))
+	if err != nil {
+		t.Fatalf("%v (run: go run ./cmd/approxnoc-vectors)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Error("golden_frames.txt does not match the current marshaler output; " +
+			"if the wire change is intended, run: go run ./cmd/approxnoc-vectors")
+	}
+}

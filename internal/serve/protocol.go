@@ -36,6 +36,63 @@ const (
 	maxFrame = 1 << 20
 )
 
+// Exported wire-format limits, for clients that build frames themselves.
+const (
+	// MaxFrameBytes is the largest frame payload either side accepts; a
+	// peer announcing more is cut off without reading the body.
+	MaxFrameBytes = maxFrame
+	// MaxBlockWords is the largest block the wire format can carry: the
+	// word count travels as a uint16. Marshaling a larger block fails
+	// loudly — it used to truncate the count silently, producing frames
+	// the receiver rejected as trailing garbage (found by
+	// FuzzProtocolFrame; seed committed under
+	// internal/serve/testdata/fuzz).
+	MaxBlockWords = 1<<16 - 1
+)
+
+// validateWireBlock rejects blocks the frame format cannot represent.
+func validateWireBlock(blk *value.Block) error {
+	if blk == nil || len(blk.Words) == 0 {
+		return errors.New("serve: block must carry at least one word")
+	}
+	if len(blk.Words) > MaxBlockWords {
+		return fmt.Errorf("serve: block of %d words exceeds wire limit %d", len(blk.Words), MaxBlockWords)
+	}
+	return nil
+}
+
+// MarshalRequest serializes a request frame payload under the given wire
+// id. It fails if the block is missing, empty, or too large for the
+// uint16 word count.
+func MarshalRequest(id uint64, req Request) ([]byte, error) {
+	if err := validateWireBlock(req.Block); err != nil {
+		return nil, err
+	}
+	return appendRequest(nil, id, req), nil
+}
+
+// UnmarshalRequest decodes a request frame payload.
+func UnmarshalRequest(p []byte) (id uint64, req Request, err error) {
+	return parseRequest(p)
+}
+
+// MarshalResponse serializes a response frame payload; the wire id is
+// res.Tag. Successful results must carry a representable block.
+func MarshalResponse(res Result) ([]byte, error) {
+	if res.Err == nil {
+		if err := validateWireBlock(res.Block); err != nil {
+			return nil, err
+		}
+	}
+	return appendResponse(nil, res), nil
+}
+
+// UnmarshalResponse decodes a response frame payload; wire statuses map
+// back to errors (overloaded becomes ErrOverloaded).
+func UnmarshalResponse(p []byte) (Result, error) {
+	return parseResponse(p)
+}
+
 // writeFrame sends one length-prefixed payload.
 func writeFrame(w io.Writer, payload []byte) error {
 	if len(payload) > maxFrame {

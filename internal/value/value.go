@@ -110,8 +110,15 @@ func ReplaceMantissa(w Word, significand uint32) Word {
 }
 
 // RelError returns the relative value difference |orig-approx| / |orig|
-// under the block's data type. A zero original with a nonzero approximation
-// counts as an error of 1 (100%); matching words are 0.
+// under the block's data type. Bit-identical words are 0, including NaNs
+// with equal payloads. A zero original with a nonzero approximation
+// counts as an error of 1 (100%), as does any bit change to a NaN or
+// infinite original. An approximation that turns a finite original into
+// NaN or an infinity returns +Inf so no finite threshold admits it — the
+// arithmetic fallthrough used to yield NaN here, which compared false
+// against every bound but poisoned any error accumulator it reached
+// (found by FuzzVAXXErrorBound; seed committed under
+// internal/approx/testdata/fuzz).
 func RelError(orig, approx Word, dt DataType) float64 {
 	if orig == approx {
 		return 0
@@ -121,10 +128,10 @@ func RelError(orig, approx Word, dt DataType) float64 {
 		fo := float64(math.Float32frombits(orig))
 		fa := float64(math.Float32frombits(approx))
 		if math.IsNaN(fo) || math.IsInf(fo, 0) {
-			if orig == approx {
-				return 0
-			}
 			return 1
+		}
+		if math.IsNaN(fa) || math.IsInf(fa, 0) {
+			return math.Inf(1)
 		}
 		if fo == 0 {
 			if fa == 0 {

@@ -1,0 +1,203 @@
+package vectors
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"strings"
+
+	"approxnoc/internal/approx"
+	"approxnoc/internal/compress"
+	"approxnoc/internal/serve"
+	"approxnoc/internal/value"
+)
+
+func wordsStr(words []value.Word) string {
+	if len(words) == 0 {
+		return "-"
+	}
+	parts := make([]string, len(words))
+	for i, w := range words {
+		parts[i] = fmt.Sprintf("%08x", w)
+	}
+	return strings.Join(parts, ",")
+}
+
+// fpcWord draws a word biased toward the Fig. 5 frequent-pattern
+// classes so every prefix shows up in the vectors.
+func fpcWord(r *rng) value.Word {
+	switch r.intn(8) {
+	case 0, 1:
+		return 0
+	case 2:
+		return value.Word(int32(r.intn(16) - 8)) // sign-extended 4-bit
+	case 3:
+		return value.Word(int32(r.intn(256) - 128)) // sign-extended 8-bit
+	case 4:
+		return value.Word(int32(r.intn(1<<16) - 1<<15)) // sign-extended 16-bit
+	case 5:
+		return value.Word(r.uint32() & 0xFFFF) // zero upper half
+	case 6:
+		// Each 16-bit half is a sign-extended byte.
+		h1 := uint32(uint16(int16(int8(r.intn(256)))))
+		h2 := uint32(uint16(int16(int8(r.intn(256)))))
+		return value.Word(h1<<16 | h2)
+	default:
+		return value.Word(r.uint32())
+	}
+}
+
+func genFPC(w *bytes.Buffer, r *rng) {
+	c := compress.NewFPComp()
+	for i := 0; i < 48; i++ {
+		n := r.intn(17) // 0..16 words
+		blk := value.NewBlock(n, value.Int32, false)
+		for j := range blk.Words {
+			blk.Words[j] = fpcWord(r)
+		}
+		enc := c.Compress(1, blk)
+		fmt.Fprintf(w, "words=%s bits=%d payload=%x\n", wordsStr(blk.Words), enc.Bits, enc.Payload)
+	}
+}
+
+func genBDI(w *bytes.Buffer, r *rng) {
+	c := compress.NewBDComp()
+	for i := 0; i < 48; i++ {
+		n := r.intn(17)
+		blk := value.NewBlock(n, value.Int32, false)
+		switch r.intn(4) {
+		case 0: // all zero
+		case 1, 2: // clustered around a base, delta width varies
+			base := r.uint32()
+			width := []uint{3, 7, 15, 20}[r.intn(4)]
+			for j := range blk.Words {
+				delta := int32(r.intn(1<<width) - 1<<(width-1))
+				blk.Words[j] = value.Word(int32(base) + delta)
+			}
+		default: // incompressible
+			for j := range blk.Words {
+				blk.Words[j] = value.Word(r.uint32())
+			}
+		}
+		enc := c.Compress(1, blk)
+		fmt.Fprintf(w, "words=%s bits=%d payload=%x\n", wordsStr(blk.Words), enc.Bits, enc.Payload)
+	}
+}
+
+func genDict(w *bytes.Buffer, r *rng) {
+	cfg := compress.DefaultDictConfig(2)
+	type namedFabric struct {
+		name string
+		fab  *compress.Fabric
+	}
+	mk := func(name string, scheme compress.Scheme, thr int) namedFabric {
+		factory, err := compress.FactoryWithDict(scheme, cfg, thr)
+		if err != nil {
+			panic(err)
+		}
+		return namedFabric{name, compress.NewFabric(2, factory)}
+	}
+	fabs := []namedFabric{mk("dicomp", compress.DIComp, 0), mk("divaxx5", compress.DIVaxx, 5)}
+
+	alpha := make([]value.Word, 6)
+	for i := range alpha {
+		alpha[i] = value.Word(r.uint32())
+	}
+	for i := 0; i < 40; i++ {
+		blk := &value.Block{Words: make([]value.Word, 8), DType: value.Int32, Approximable: i%3 != 0}
+		for j := range blk.Words {
+			word := alpha[r.intn(len(alpha))]
+			if r.intn(8) == 0 {
+				word ^= 1 << uint(r.intn(8)) // near-miss of a hot pattern
+			}
+			blk.Words[j] = word
+		}
+		src := r.intn(2)
+		dst := 1 - src
+		for _, nf := range fabs {
+			enc := nf.fab.Codec(src).Compress(dst, blk)
+			out, notifs := nf.fab.Codec(dst).Decompress(src, enc)
+			nf.fab.Deliver(notifs)
+			fmt.Fprintf(w, "%s %d>%d words=%s bits=%d payload=%x decoded=%s\n",
+				nf.name, src, dst, wordsStr(blk.Words), enc.Bits, enc.Payload, wordsStr(out.Words))
+		}
+	}
+}
+
+func genMasks(w *bytes.Buffer, r *rng) {
+	specials := []value.Word{0x00000000, 0x80000000, 0x7F800000, 0xFF800000, 0x7FC00000, 0x00000001}
+	for _, pct := range []int{0, 1, 5, 10, 25, 100} {
+		a, err := approx.New(pct)
+		if err != nil {
+			panic(err)
+		}
+		for i := 0; i < 12; i++ {
+			iw := value.Word(r.uint32()) >> uint(r.intn(28)) // mixed magnitudes
+			if r.intn(2) == 0 {
+				iw = value.Word(-int32(iw))
+			}
+			mask, _ := a.MaskWord(iw, value.Int32)
+			fmt.Fprintf(w, "int pct=%d w=%08x mask=%08x\n", pct, iw, mask)
+
+			var fw value.Word
+			if i < 3 {
+				fw = specials[r.intn(len(specials))]
+			} else {
+				// A normal float: random sign, finite exponent, mantissa.
+				fw = value.Word(uint32(r.intn(2))<<31 | uint32(r.intn(254)+1)<<23 | r.uint32()&0x7FFFFF)
+			}
+			if m, ok := a.MaskWord(fw, value.Float32); ok {
+				fmt.Fprintf(w, "float pct=%d w=%08x mask=%08x\n", pct, fw, m)
+			} else {
+				fmt.Fprintf(w, "float pct=%d w=%08x mask=bypass\n", pct, fw)
+			}
+		}
+	}
+}
+
+func genFrames(w *bytes.Buffer, r *rng) {
+	thresholds := []int{-1, 0, 5, 10, 25}
+	for i := 0; i < 16; i++ {
+		n := r.intn(8) + 1
+		dt := value.Int32
+		if r.intn(2) == 1 {
+			dt = value.Float32
+		}
+		blk := value.NewBlock(n, dt, r.intn(2) == 1)
+		for j := range blk.Words {
+			blk.Words[j] = fpcWord(r)
+		}
+		req := serve.Request{
+			Src: r.intn(4), Dst: r.intn(4),
+			ThresholdPct: thresholds[r.intn(len(thresholds))],
+			Block:        blk,
+		}
+		frame, err := serve.MarshalRequest(uint64(i+1), req)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Fprintf(w, "req id=%d hex=%x\n", i+1, frame)
+	}
+	for i := 0; i < 12; i++ {
+		res := serve.Result{Tag: uint64(100 + i)}
+		switch r.intn(3) {
+		case 0:
+			blk := value.NewBlock(r.intn(8)+1, value.Int32, false)
+			for j := range blk.Words {
+				blk.Words[j] = fpcWord(r)
+			}
+			res.Block = blk
+			res.BitsIn = 32 * len(blk.Words)
+			res.BitsOut = r.intn(res.BitsIn + 1)
+		case 1:
+			res.Err = serve.ErrOverloaded
+		default:
+			res.Err = errors.New("vector error message")
+		}
+		frame, err := serve.MarshalResponse(res)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Fprintf(w, "res tag=%d hex=%x\n", res.Tag, frame)
+	}
+}

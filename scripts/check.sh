@@ -26,4 +26,15 @@ go build ./...
 echo '>> go test -race -short ./...'
 go test -race -short ./...
 
+echo '>> coverage (per package)'
+coverprofile=${COVERPROFILE:-/tmp/approxnoc-cover.out}
+go test -short -coverprofile "$coverprofile" ./...
+go tool cover -func "$coverprofile" | tail -1
+echo "coverage profile: $coverprofile"
+
+if [ "${FUZZ:-0}" = "1" ]; then
+    echo '>> fuzz smoke'
+    ./scripts/fuzz_smoke.sh
+fi
+
 echo 'check: all green'
