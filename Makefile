@@ -1,12 +1,18 @@
 # Standard entry points; `make check` is the tier-1 verification gate
-# (gofmt + vet + build + race-detector test run + coverage summary).
+# (gofmt + vet + build + race-detector test run + coverage summary,
+# including the internal/obs 85% coverage floor).
 # `make check FUZZ=1` additionally runs the fuzz smoke pass;
 # `make fuzz-smoke` runs it alone. FUZZTIME tunes the per-target budget.
+# `make obs-demo` boots a live gateway with the debug endpoint, scrapes
+# /metrics and /trace over HTTP, and fails unless the scrape parses.
 
-.PHONY: check test build bench fuzz-smoke
+.PHONY: check test build bench fuzz-smoke obs-demo
 
 check:
 	FUZZ=$(FUZZ) ./scripts/check.sh
+
+obs-demo:
+	go run ./cmd/approxnoc-serve -obs-demo -records 1000
 
 fuzz-smoke:
 	./scripts/fuzz_smoke.sh

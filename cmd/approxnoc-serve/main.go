@@ -24,6 +24,7 @@ import (
 	"sync"
 
 	"approxnoc/internal/compress"
+	"approxnoc/internal/obs"
 	"approxnoc/internal/serve"
 	"approxnoc/internal/sim"
 	"approxnoc/internal/traffic"
@@ -50,6 +51,8 @@ func main() {
 	clients := flag.Int("clients", 16, "concurrent TCP clients for -selftest")
 	trace := flag.String("trace", "", "replay an ANTR trace file instead of a synthetic workload (-selftest)")
 	seed := flag.Uint64("seed", 1, "seed for the synthetic workload (-selftest)")
+	debugAddr := flag.String("debug-addr", "", "serve /metrics, /trace and pprof on this address")
+	obsDemo := flag.Bool("obs-demo", false, "boot a gateway with the debug endpoint, scrape /metrics and /trace, verify the scrape parses, and exit")
 	flag.Parse()
 
 	cfg := serve.Config{
@@ -60,10 +63,13 @@ func main() {
 	scheme, err := compress.ParseScheme(*schemeName)
 	if err == nil {
 		cfg.Scheme = scheme
-		if *selftest {
+		switch {
+		case *obsDemo:
+			err = runObsDemo(cfg, *benchmark, *records, *seed, *debugAddr)
+		case *selftest:
 			err = runSelftest(cfg, *benchmark, *trace, *records, *clients, *seed)
-		} else {
-			err = runServer(cfg, *addr)
+		default:
+			err = runServer(cfg, *addr, *debugAddr)
 		}
 	}
 	if err != nil {
@@ -73,13 +79,31 @@ func main() {
 }
 
 // runServer serves the gateway until the listener fails (e.g. the
-// process is killed).
-func runServer(cfg serve.Config, addr string) error {
+// process is killed). A non-empty debugAddr additionally serves the obs
+// debug endpoints next to the TCP protocol port.
+func runServer(cfg serve.Config, addr, debugAddr string) error {
+	var reg *obs.Registry
+	var tracer *obs.Tracer
+	if debugAddr != "" {
+		reg = obs.NewRegistry()
+		tracer = obs.NewTracer(16, 4096)
+		cfg.Tracer = tracer
+	}
 	gw, err := serve.New(cfg)
 	if err != nil {
 		return err
 	}
 	defer gw.Close()
+	if reg != nil {
+		gw.RegisterMetrics(reg)
+		tracer.RegisterMetrics(reg)
+		dbg, err := obs.StartDebugServer(debugAddr, reg, tracer)
+		if err != nil {
+			return err
+		}
+		defer dbg.Close()
+		fmt.Printf("debug endpoints on http://%s/ (/metrics /trace /debug/pprof)\n", dbg.Addr())
+	}
 	srv := serve.NewServer(gw)
 	eff := gw.Config()
 	fmt.Printf("serving %v gateway: %d nodes, %d shards (locked=%v), queue %d, batch %d, threshold %d%%\n",

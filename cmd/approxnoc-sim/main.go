@@ -15,6 +15,7 @@ import (
 
 	"approxnoc/internal/compress"
 	"approxnoc/internal/noc"
+	"approxnoc/internal/obs"
 	"approxnoc/internal/power"
 	"approxnoc/internal/topology"
 	"approxnoc/internal/traffic"
@@ -36,17 +37,19 @@ func main() {
 	traceFile := flag.String("trace", "", "trace file to replay (replay mode)")
 	cycles := flag.Int("cycles", 100000, "injection cycles")
 	seed := flag.Uint64("seed", 1, "seed")
+	debugAddr := flag.String("debug-addr", "", "serve /metrics, /trace and pprof on this address while simulating")
 	flag.Parse()
 
 	if err := run(*width, *height, *conc, *schemeName, *threshold, *mode, *patternName,
-		*rate, *dataRatio, *benchmark, *approxRatio, *traceFile, *cycles, *seed); err != nil {
+		*rate, *dataRatio, *benchmark, *approxRatio, *traceFile, *cycles, *seed, *debugAddr); err != nil {
 		fmt.Fprintln(os.Stderr, "approxnoc-sim:", err)
 		os.Exit(1)
 	}
 }
 
 func run(width, height, conc int, schemeName string, threshold int, mode, patternName string,
-	rate, dataRatio float64, benchmark string, approxRatio float64, traceFile string, cycles int, seed uint64) error {
+	rate, dataRatio float64, benchmark string, approxRatio float64, traceFile string, cycles int, seed uint64,
+	debugAddr string) error {
 	scheme, err := compress.ParseScheme(schemeName)
 	if err != nil {
 		return err
@@ -70,6 +73,19 @@ func run(width, height, conc int, schemeName string, threshold int, mode, patter
 	net, err := noc.New(topo, noc.DefaultConfig(), factory)
 	if err != nil {
 		return err
+	}
+	var tracer *obs.Tracer
+	if debugAddr != "" {
+		reg := obs.NewRegistry()
+		tracer = obs.NewTracer(topo.Routers(), 4096)
+		net.EnableObs(reg, tracer, 256)
+		tracer.RegisterMetrics(reg)
+		dbg, err := obs.StartDebugServer(debugAddr, reg, tracer)
+		if err != nil {
+			return err
+		}
+		defer dbg.Close()
+		fmt.Printf("debug endpoints      http://%s/ (/metrics /trace /debug/pprof)\n", dbg.Addr())
 	}
 	src := model.NewSource(seed, approxRatio)
 	var res traffic.RunResult
@@ -113,6 +129,7 @@ func run(width, height, conc int, schemeName string, threshold int, mode, patter
 	default:
 		return fmt.Errorf("unknown mode %q", mode)
 	}
+	net.PublishObs()
 	s := res.Stats
 	cs := net.CodecStats()
 	em := power.Default45nm()
@@ -132,5 +149,9 @@ func run(width, height, conc int, schemeName string, threshold int, mode, patter
 		cs.CompressionRatio(), cs.EncodedWordFraction(), cs.ApproxWordFraction(), cs.DataQuality())
 	fmt.Printf("dynamic power       %.2f mW (45nm model at 2GHz)\n",
 		em.DynamicPowerMW(net.Power(), cs, s.Cycles, 2))
+	if tracer != nil {
+		fmt.Printf("trace               %d events retained, %d dropped, %d evicted\n",
+			tracer.Len(), tracer.Dropped(), tracer.Evicted())
+	}
 	return nil
 }

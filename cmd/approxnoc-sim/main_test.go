@@ -4,7 +4,7 @@ import "testing"
 
 func TestRunSyntheticSmoke(t *testing.T) {
 	err := run(2, 2, 1, "FP-VAXX", 10, "synthetic", "uniform-random",
-		0.05, 0.25, "blackscholes", 0.75, "", 1500, 1)
+		0.05, 0.25, "blackscholes", 0.75, "", 1500, 1, "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -12,7 +12,7 @@ func TestRunSyntheticSmoke(t *testing.T) {
 
 func TestRunReqReplySmoke(t *testing.T) {
 	err := run(2, 2, 1, "Baseline", 0, "reqreply", "uniform-random",
-		0.01, 0.25, "ssca2", 0.75, "", 1500, 1)
+		0.01, 0.25, "ssca2", 0.75, "", 1500, 1, "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -30,7 +30,7 @@ func TestRunRejectsBadInputs(t *testing.T) {
 		{"Baseline", "replay", "uniform-random", "ssca2", "/nope"}, // unreadable trace
 	}
 	for _, c := range cases {
-		err := run(2, 2, 1, c.scheme, 10, c.mode, c.pattern, 0.05, 0.25, c.bench, 0.75, c.trace, 100, 1)
+		err := run(2, 2, 1, c.scheme, 10, c.mode, c.pattern, 0.05, 0.25, c.bench, 0.75, c.trace, 100, 1, "")
 		if err == nil {
 			t.Fatalf("accepted %+v", c)
 		}

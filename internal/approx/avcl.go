@@ -20,10 +20,13 @@ import (
 	"approxnoc/internal/value"
 )
 
-// Stats counts AVCL operations for the energy model.
+// Stats counts AVCL operations for the energy model and the
+// observability layer.
 type Stats struct {
 	RangeComputes uint64 // error-range shifts performed
 	Bypasses      uint64 // special floats / non-approximable bypass
+	MaskHits      uint64 // masks with at least one don't-care bit
+	Clips         uint64 // float masks clipped to the mantissa boundary
 }
 
 // AVCL is the approximate value compute logic for one error threshold.
@@ -102,7 +105,11 @@ func maskForRange(errRange uint32) uint32 {
 // relative guarantee as positive ones.
 func (a *AVCL) MaskInt(w value.Word) uint32 {
 	m := magnitude(w)
-	return maskForRange(a.ErrorRange(m))
+	mask := maskForRange(a.ErrorRange(m))
+	if mask != 0 {
+		a.stats.MaskHits++
+	}
+	return mask
 }
 
 func magnitude(w value.Word) uint32 {
@@ -124,7 +131,13 @@ func (a *AVCL) MaskFloat(w value.Word) (mask uint32, ok bool) {
 	sig := value.Significand(w)
 	mask = maskForRange(a.ErrorRange(sig))
 	if mask > value.MantissaMask {
+		// The error range spills past the mantissa: clip the don't-care
+		// bits at the exponent boundary (threshold-clip).
 		mask = value.MantissaMask
+		a.stats.Clips++
+	}
+	if mask != 0 {
+		a.stats.MaskHits++
 	}
 	return mask, true
 }

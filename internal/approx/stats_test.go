@@ -1,0 +1,44 @@
+package approx
+
+import (
+	"testing"
+
+	"approxnoc/internal/value"
+)
+
+// TestStatsCounters pins the AVCL observability counters: mask hits when
+// a mask has don't-care bits, clips when a float mask clamps at the
+// mantissa boundary, bypasses on special floats.
+func TestStatsCounters(t *testing.T) {
+	a := MustNew(10)
+	if a.MaskInt(value.Word(1_000_000)) == 0 {
+		t.Fatal("large int produced an empty mask")
+	}
+	if s := a.Stats(); s.MaskHits != 1 {
+		t.Fatalf("mask hits = %d after one hit", s.MaskHits)
+	}
+	a.MaskInt(value.Word(0)) // zero magnitude: empty mask, no hit
+	if s := a.Stats(); s.MaskHits != 1 {
+		t.Fatalf("mask hits = %d after an empty mask", s.MaskHits)
+	}
+
+	// At a 100% threshold the error range is the full significand; with an
+	// all-ones mantissa the don't-care range spills past the mantissa and
+	// the float path must clip at the exponent boundary.
+	c := MustNew(100)
+	allOnes := value.Word(0x3FFFFFFF) // ≈1.9999999: exponent 127, mantissa all ones
+	mask, ok := c.MaskFloat(allOnes)
+	if !ok || mask != value.MantissaMask {
+		t.Fatalf("MaskFloat(all-ones mantissa) at 100%% = %#x, %v", mask, ok)
+	}
+	if s := c.Stats(); s.Clips != 1 || s.MaskHits != 1 {
+		t.Fatalf("clips=%d hits=%d after a clipped mask", s.Clips, s.MaskHits)
+	}
+
+	if _, ok := c.MaskFloat(value.Word(0)); ok {
+		t.Fatal("special float not bypassed")
+	}
+	if s := c.Stats(); s.Bypasses != 1 {
+		t.Fatalf("bypasses = %d", s.Bypasses)
+	}
+}

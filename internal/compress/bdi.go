@@ -228,4 +228,13 @@ func (c *bdiCodec) Decompress(src int, enc *Encoded) (*value.Block, []Notificati
 
 func (c *bdiCodec) HandleNotification(Notification) []Notification { return nil }
 
-func (c *bdiCodec) Stats() OpStats { return c.stats }
+func (c *bdiCodec) Stats() OpStats {
+	s := c.stats
+	if c.avcl != nil {
+		as := c.avcl.Stats()
+		s.AVCLMaskHits += as.MaskHits
+		s.AVCLClips += as.Clips
+		s.AVCLBypasses += as.Bypasses
+	}
+	return s
+}

@@ -173,6 +173,9 @@ type OpStats struct {
 	NotificationsRecv uint64
 	EncodeOps         uint64 // words passed through pattern encode logic
 	DecodeOps         uint64 // words passed through decode logic
+	AVCLMaskHits      uint64 // AVCL masks with at least one don't-care bit
+	AVCLClips         uint64 // float masks clipped at the mantissa boundary
+	AVCLBypasses      uint64 // special floats bypassing approximation
 }
 
 // Add accumulates other into s.
@@ -194,6 +197,9 @@ func (s *OpStats) Add(o OpStats) {
 	s.NotificationsRecv += o.NotificationsRecv
 	s.EncodeOps += o.EncodeOps
 	s.DecodeOps += o.DecodeOps
+	s.AVCLMaskHits += o.AVCLMaskHits
+	s.AVCLClips += o.AVCLClips
+	s.AVCLBypasses += o.AVCLBypasses
 }
 
 // CompressionRatio returns BitsIn / BitsOut (1.0 when nothing flowed).

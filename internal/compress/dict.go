@@ -661,5 +661,11 @@ func (d *dictCodec) Stats() OpStats {
 		ts := d.tc.Stats()
 		s.TcamSearches += ts.Searches
 	}
+	if d.avcl != nil {
+		as := d.avcl.Stats()
+		s.AVCLMaskHits += as.MaskHits
+		s.AVCLClips += as.Clips
+		s.AVCLBypasses += as.Bypasses
+	}
 	return s
 }

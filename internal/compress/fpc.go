@@ -369,8 +369,12 @@ func (c *fpCodec) HandleNotification(Notification) []Notification { return nil }
 func (c *fpCodec) Stats() OpStats {
 	s := c.stats
 	if c.avcl != nil {
-		// Fold AVCL op counts in for the power model.
-		s.EncodeOps += c.avcl.Stats().RangeComputes
+		// Fold AVCL op counts in for the power model and the obs layer.
+		as := c.avcl.Stats()
+		s.EncodeOps += as.RangeComputes
+		s.AVCLMaskHits += as.MaskHits
+		s.AVCLClips += as.Clips
+		s.AVCLBypasses += as.Bypasses
 	}
 	return s
 }

@@ -9,10 +9,12 @@ package fullsys
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"approxnoc/internal/cachesim"
 	"approxnoc/internal/compress"
 	"approxnoc/internal/noc"
+	"approxnoc/internal/obs"
 	"approxnoc/internal/topology"
 	"approxnoc/internal/value"
 )
@@ -52,8 +54,10 @@ type System struct {
 	delivered map[uint64]*value.Block
 	deliverOK map[uint64]bool
 
-	stallCycles uint64
-	roundTrips  uint64
+	// Atomics: written only by the simulation goroutine, but read live
+	// by obs scrape collectors from HTTP handler goroutines.
+	stallCycles atomic.Uint64
+	roundTrips  atomic.Uint64
 }
 
 // New builds the system.
@@ -110,10 +114,29 @@ func (s *System) Network() *noc.Network { return s.net }
 
 // StallCycles returns the total memory stall cycles accumulated by
 // network round trips.
-func (s *System) StallCycles() uint64 { return s.stallCycles }
+func (s *System) StallCycles() uint64 { return s.stallCycles.Load() }
 
 // RoundTrips returns the number of remote misses served.
-func (s *System) RoundTrips() uint64 { return s.roundTrips }
+func (s *System) RoundTrips() uint64 { return s.roundTrips.Load() }
+
+// EnableObs attaches the observability layer to the coupled machine: it
+// wires reg and tracer into the underlying network (see
+// noc.Network.EnableObs) and additionally exports the full-system
+// counters. Must be called before kernels run.
+func (s *System) EnableObs(reg *obs.Registry, tracer *obs.Tracer, every int) {
+	s.net.EnableObs(reg, tracer, every)
+	if reg == nil {
+		return
+	}
+	reg.Collector("fullsys_stall_cycles_total", "memory stall cycles from network round trips",
+		obs.TypeCounter, nil, func() []obs.Sample {
+			return []obs.Sample{{Value: float64(s.StallCycles())}}
+		})
+	reg.Collector("fullsys_round_trips_total", "remote misses served through the NoC",
+		obs.TypeCounter, nil, func() []obs.Sample {
+			return []obs.Sample{{Value: float64(s.RoundTrips())}}
+		})
+}
 
 // transfer serves one remote miss through the network: a single-flit
 // read request to the home tile, then the (possibly compressed and
@@ -134,8 +157,8 @@ func (s *System) transfer(home, core int, blk *value.Block) *value.Block {
 	delete(s.delivered, rep.ID)
 	delete(s.deliverOK, req.ID)
 	delete(s.deliverOK, rep.ID)
-	s.stallCycles += uint64(s.net.Now() - start)
-	s.roundTrips++
+	s.stallCycles.Add(uint64(s.net.Now() - start))
+	s.roundTrips.Add(1)
 	if out == nil {
 		panic("fullsys: data reply delivered without a block")
 	}
@@ -158,7 +181,7 @@ func (s *System) waitFor(id uint64) {
 // cache access plus the measured network stall cycles.
 func (s *System) Runtime() float64 {
 	cs := s.cache.Stats()
-	return float64(cs.Loads+cs.Stores) + float64(s.stallCycles)
+	return float64(cs.Loads+cs.Stores) + float64(s.stallCycles.Load())
 }
 
 // CodecStats aggregates the NI codec statistics.

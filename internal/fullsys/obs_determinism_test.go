@@ -1,0 +1,98 @@
+package fullsys
+
+import (
+	"testing"
+
+	"approxnoc/internal/compress"
+	"approxnoc/internal/obs"
+)
+
+// fullsysOutcome is everything a seeded run produces that experiments
+// record. Two runs compare equal iff the machine behaved identically.
+type fullsysOutcome struct {
+	runtime float64
+	stalls  uint64
+	trips   uint64
+	codec   compress.OpStats
+	sums    [16]int64
+}
+
+// obsKernel runs a fixed remote-heavy kernel: every core strides a
+// shared array through the NoC, reading values another core wrote.
+func obsKernel(t *testing.T, s *System) fullsysOutcome {
+	t.Helper()
+	cache := s.Cache()
+	arr, err := cache.AllocI32(512, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < arr.Len(); i++ {
+		arr.Set(0, i, int32(3*i-700))
+	}
+	var out fullsysOutcome
+	for core := 0; core < 16; core++ {
+		var sum int64
+		for i := core; i < arr.Len(); i += 16 {
+			sum += int64(arr.Get(core, i))
+		}
+		out.sums[core] = sum
+	}
+	out.runtime = s.Runtime()
+	out.stalls = s.StallCycles()
+	out.trips = s.RoundTrips()
+	out.codec = s.CodecStats()
+	return out
+}
+
+// TestObsDoesNotPerturbFullSystem is the end-to-end instrumentation
+// contract (the ISSUE's determinism satellite): a coupled cache+NoC run
+// with the full observability stack attached — registry publishing every
+// cycle, tracer recording every event — produces outputs identical to a
+// bare run, down to the measured stall cycles and the values the kernel
+// read.
+func TestObsDoesNotPerturbFullSystem(t *testing.T) {
+	run := func(enable bool) fullsysOutcome {
+		s, err := New(DefaultConfig(compress.DIVaxx, 10))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if enable {
+			reg := obs.NewRegistry()
+			tracer := obs.NewTracer(16, 1<<15)
+			s.EnableObs(reg, tracer, 1)
+		}
+		return obsKernel(t, s)
+	}
+	bare := run(false)
+	instrumented := run(true)
+	if bare != instrumented {
+		t.Fatalf("observability changed the run:\nbare:         %+v\ninstrumented: %+v", bare, instrumented)
+	}
+	if bare.trips == 0 || bare.codec.BlocksIn == 0 {
+		t.Fatalf("kernel did not exercise the network: %+v", bare)
+	}
+}
+
+// TestFullsysScrape checks the fullsys families are live: after a run,
+// a scrape reports exactly the measured stalls and round trips.
+func TestFullsysScrape(t *testing.T) {
+	s, err := New(DefaultConfig(compress.Baseline, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	s.EnableObs(reg, nil, 64)
+	obsKernel(t, s)
+	got := map[string]float64{}
+	for _, f := range reg.Snapshot().Families {
+		if len(f.Samples) == 1 && len(f.Labels) == 0 {
+			got[f.Name] = f.Samples[0].Value
+		}
+	}
+	if got["fullsys_stall_cycles_total"] != float64(s.StallCycles()) {
+		t.Fatalf("scraped stalls %g, measured %d", got["fullsys_stall_cycles_total"], s.StallCycles())
+	}
+	if got["fullsys_round_trips_total"] != float64(s.RoundTrips()) {
+		t.Fatalf("scraped trips %g, measured %d", got["fullsys_round_trips_total"], s.RoundTrips())
+	}
+}

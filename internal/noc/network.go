@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"approxnoc/internal/compress"
+	"approxnoc/internal/obs"
 	"approxnoc/internal/sim"
 	"approxnoc/internal/topology"
 	"approxnoc/internal/value"
@@ -59,6 +60,9 @@ type Network struct {
 	stats      NetStats
 	power      PowerEvents
 	statsEpoch sim.Cycle
+
+	tracer *obs.Tracer
+	obs    *netObs
 
 	onDeliver []func(p *Packet, blk *value.Block)
 }
@@ -203,6 +207,9 @@ func (n *Network) Step() {
 	}
 
 	n.clock.Tick()
+	if n.obs != nil && n.clock.Now()%n.obs.every == 0 {
+		n.publishObs()
+	}
 }
 
 // Run advances the simulation by the given number of cycles.

@@ -2,6 +2,7 @@ package noc
 
 import (
 	"approxnoc/internal/compress"
+	"approxnoc/internal/obs"
 	"approxnoc/internal/sim"
 	"approxnoc/internal/value"
 )
@@ -73,6 +74,18 @@ func (ni *NI) QueueLen() int {
 func (ni *NI) enqueueData(dst int, blk *value.Block, now sim.Cycle) *Packet {
 	enc := ni.codec.Compress(dst, blk)
 	p := ni.net.newPacket(ni.tile, dst, DataPacket, now)
+	if ni.net.tracer != nil {
+		ni.net.trace(obs.EvCompress, ni.tile, p.ID, uint64(enc.Bits))
+		approxWords := 0
+		for _, we := range enc.Words {
+			if we.Kind == compress.ApproxWord {
+				approxWords++
+			}
+		}
+		if approxWords > 0 {
+			ni.net.trace(obs.EvApproxHit, ni.tile, p.ID, uint64(approxWords))
+		}
+	}
 	p.Enc = enc
 	p.Flits = ni.net.cfg.dataPacketFlits(enc.PayloadBytes())
 	p.ReadyAt = now
@@ -157,6 +170,9 @@ func (ni *NI) inject(now sim.Cycle) {
 	router := ni.net.topo.RouterOf(ni.tile)
 	port := ni.net.topo.LocalPortOf(ni.tile)
 	ni.net.stageFlit(router, port, ni.curVC, f)
+	if ni.net.tracer != nil {
+		ni.net.trace(obs.EvFlitInject, ni.tile, ni.cur.ID, uint64(ni.curIdx))
+	}
 	ni.curIdx++
 	if ni.curIdx == len(ni.curFl) {
 		ni.cur, ni.curFl, ni.curVC = nil, nil, -1
@@ -167,6 +183,9 @@ func (ni *NI) inject(now sim.Cycle) {
 // completes the packet and enters it into the ordered decode pipeline.
 func (ni *NI) receiveFlit(f *Flit) {
 	ni.net.stats.FlitsEjected++
+	if ni.net.tracer != nil {
+		ni.net.trace(obs.EvFlitEject, ni.tile, f.Packet.ID, 0)
+	}
 	if !f.IsTail() {
 		return
 	}
@@ -227,11 +246,17 @@ func (ni *NI) deliver(p *Packet, now sim.Cycle) {
 	switch p.Kind {
 	case DataPacket:
 		blk, notifs := ni.codec.Decompress(p.Src, p.Enc)
+		if ni.net.tracer != nil {
+			ni.net.trace(obs.EvDecompress, ni.tile, p.ID, uint64(len(notifs)))
+		}
 		for _, n := range notifs {
 			ni.enqueueNotif(n, now)
 		}
 		ni.net.notifyDelivery(p, blk)
 	case NotifPacket:
+		if ni.net.tracer != nil && p.Notif.Kind == compress.NotifUpdate {
+			ni.net.trace(obs.EvPMTUpdate, ni.tile, uint64(p.Notif.Index), uint64(p.Notif.Pattern))
+		}
 		for _, reply := range ni.codec.HandleNotification(*p.Notif) {
 			ni.enqueueNotif(reply, now)
 		}

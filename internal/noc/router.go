@@ -1,6 +1,7 @@
 package noc
 
 import (
+	"approxnoc/internal/obs"
 	"approxnoc/internal/topology"
 )
 
@@ -183,6 +184,9 @@ func (r *router) stageVA() {
 				granted[ivc] = true
 				r.vaRR[op][ov] = (slot + 1) % total
 				r.net.power.VCAllocs++
+				if r.net.tracer != nil {
+					r.net.trace(obs.EvVCAlloc, r.id, ivc.front().Packet.ID, uint64(op)<<8|uint64(ov))
+				}
 				break
 			}
 		}

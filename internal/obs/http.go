@@ -1,0 +1,86 @@
+package obs
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+)
+
+// Handler returns the debug HTTP handler: /metrics (text exposition of
+// reg), /trace (recent tracer events, newest last, ?n= limits the
+// count), and the /debug/pprof/ endpoints. reg and tr may each be nil,
+// which disables their endpoint with 404.
+func Handler(reg *Registry, tr *Tracer) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", func(w http.ResponseWriter, req *http.Request) {
+		if req.URL.Path != "/" {
+			http.NotFound(w, req)
+			return
+		}
+		fmt.Fprint(w, "approxnoc debug endpoints:\n  /metrics\n  /trace?n=100\n  /debug/pprof/\n")
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
+		if reg == nil {
+			http.NotFound(w, req)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		reg.WriteText(w)
+	})
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, req *http.Request) {
+		if tr == nil {
+			http.NotFound(w, req)
+			return
+		}
+		events := tr.Snapshot()
+		if s := req.URL.Query().Get("n"); s != "" {
+			n, err := strconv.Atoi(s)
+			if err != nil || n < 0 {
+				http.Error(w, "bad n", http.StatusBadRequest)
+				return
+			}
+			if n < len(events) {
+				events = events[len(events)-n:]
+			}
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintf(w, "# %d events retained, %d dropped, %d evicted\n",
+			len(events), tr.Dropped(), tr.Evicted())
+		for _, e := range events {
+			fmt.Fprintln(w, e)
+		}
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// DebugServer is a running debug HTTP listener.
+type DebugServer struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// StartDebugServer listens on addr (host:port; port 0 picks one) and
+// serves Handler(reg, tr) until Close. It returns once the listener is
+// bound, so Addr is immediately usable.
+func StartDebugServer(addr string, reg *Registry, tr *Tracer) (*DebugServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: %w", err)
+	}
+	d := &DebugServer{ln: ln, srv: &http.Server{Handler: Handler(reg, tr)}}
+	go d.srv.Serve(ln)
+	return d, nil
+}
+
+// Addr returns the bound listener address.
+func (d *DebugServer) Addr() net.Addr { return d.ln.Addr() }
+
+// Close stops the listener and in-flight requests.
+func (d *DebugServer) Close() error { return d.srv.Close() }

@@ -1,0 +1,145 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"approxnoc/internal/stats"
+)
+
+// Counter is a monotonically increasing count. Inc/Add are single
+// atomic adds, safe for any number of goroutines.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+func (c *Counter) samples() []Sample { return []Sample{{Value: float64(c.v.Load())}} }
+func (c *Counter) reset()            { c.v.Store(0) }
+
+// Gauge is a value that can move both ways, stored as atomic float64
+// bits.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add folds a delta in with a CAS loop.
+func (g *Gauge) Add(d float64) {
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + d)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+func (g *Gauge) samples() []Sample { return []Sample{{Value: g.Value()}} }
+func (g *Gauge) reset()            { g.bits.Store(0) }
+
+// Histogram is a lock-free log2-bucketed duration histogram — it
+// absorbs internal/stats.LatencyHist, so Observe is one atomic
+// increment. Exposition renders _count, _p50_ns and _p99_ns samples.
+type Histogram struct {
+	h stats.LatencyHist
+}
+
+// Observe folds one duration in.
+func (h *Histogram) Observe(d time.Duration) { h.h.Observe(d) }
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.h.Count() }
+
+// Quantile returns an upper-bound estimate of the q-quantile.
+func (h *Histogram) Quantile(q float64) time.Duration { return h.h.Quantile(q) }
+
+func (h *Histogram) samples() []Sample {
+	s := h.h.Snapshot()
+	return []Sample{
+		{Suffix: "_count", Value: float64(s.Count())},
+		{Suffix: "_p50_ns", Value: float64(s.Quantile(0.50))},
+		{Suffix: "_p99_ns", Value: float64(s.Quantile(0.99))},
+	}
+}
+
+func (h *Histogram) reset() { h.h.Reset() }
+
+// Summary is a running mean/stddev aggregate absorbing
+// internal/stats.Welford under a mutex (Welford's incremental update is
+// not lock-free). Exposition renders _count, _mean and _stddev samples.
+type Summary struct {
+	mu sync.Mutex
+	w  stats.Welford
+}
+
+// Observe folds one sample in.
+func (s *Summary) Observe(x float64) {
+	s.mu.Lock()
+	s.w.Add(x)
+	s.mu.Unlock()
+}
+
+// Mean returns the running mean.
+func (s *Summary) Mean() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.w.Mean()
+}
+
+func (s *Summary) samples() []Sample {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return []Sample{
+		{Suffix: "_count", Value: float64(s.w.N())},
+		{Suffix: "_mean", Value: s.w.Mean()},
+		{Suffix: "_stddev", Value: s.w.Stddev()},
+	}
+}
+
+func (s *Summary) reset() {
+	s.mu.Lock()
+	s.w = stats.Welford{}
+	s.mu.Unlock()
+}
+
+// CounterVec is a labeled counter family.
+type CounterVec struct{ f *family }
+
+// With returns the counter for one label-value tuple, creating it on
+// first use. The instrument is cached; calling With on the hot path is
+// a read-locked map lookup, so prefer holding the result.
+func (v *CounterVec) With(values ...string) *Counter {
+	return v.f.with(values, func() instrument { return &Counter{} }).(*Counter)
+}
+
+// GaugeVec is a labeled gauge family.
+type GaugeVec struct{ f *family }
+
+// With returns the gauge for one label-value tuple.
+func (v *GaugeVec) With(values ...string) *Gauge {
+	return v.f.with(values, func() instrument { return &Gauge{} }).(*Gauge)
+}
+
+// HistogramVec is a labeled histogram family.
+type HistogramVec struct{ f *family }
+
+// With returns the histogram for one label-value tuple.
+func (v *HistogramVec) With(values ...string) *Histogram {
+	return v.f.with(values, func() instrument { return &Histogram{} }).(*Histogram)
+}

@@ -1,0 +1,204 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+func TestCounter(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("reqs_total", "requests")
+	c.Inc()
+	c.Add(41)
+	if c.Value() != 42 {
+		t.Fatalf("counter = %d, want 42", c.Value())
+	}
+}
+
+func TestGauge(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("depth", "queue depth")
+	g.Set(3.5)
+	g.Add(-1.25)
+	if got := g.Value(); got != 2.25 {
+		t.Fatalf("gauge = %g, want 2.25", got)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat_ns", "latency")
+	for i := 0; i < 100; i++ {
+		h.Observe(100 * time.Nanosecond)
+	}
+	if h.Count() != 100 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	// 100 ns has bit length 7, so the bucket's upper edge is 2^7-1.
+	if q := h.Quantile(0.99); q != 127 {
+		t.Fatalf("p99 = %d, want 127", q)
+	}
+	s := (&Histogram{}).samples()
+	if len(s) != 3 || s[0].Suffix != "_count" || s[1].Suffix != "_p50_ns" || s[2].Suffix != "_p99_ns" {
+		t.Fatalf("histogram samples %+v", s)
+	}
+}
+
+func TestSummary(t *testing.T) {
+	r := NewRegistry()
+	s := r.Summary("err", "relative error")
+	s.Observe(1)
+	s.Observe(3)
+	if s.Mean() != 2 {
+		t.Fatalf("mean = %g", s.Mean())
+	}
+	smp := s.samples()
+	if len(smp) != 3 || smp[0].Value != 2 || smp[1].Value != 2 {
+		t.Fatalf("summary samples %+v", smp)
+	}
+}
+
+func TestVecCachesPerLabelTuple(t *testing.T) {
+	r := NewRegistry()
+	cv := r.CounterVec("words_total", "words", "kind")
+	a := cv.With("approx")
+	if cv.With("approx") != a {
+		t.Fatal("same label values returned a different instrument")
+	}
+	b := cv.With("exact")
+	if a == b {
+		t.Fatal("different label values shared an instrument")
+	}
+	a.Add(2)
+	b.Inc()
+	gv := r.GaugeVec("ratio", "ratio", "scheme")
+	gv.With("fpc").Set(1.5)
+	hv := r.HistogramVec("lat_ns", "latency", "shard")
+	hv.With("0").Observe(time.Microsecond)
+
+	snap := r.Snapshot()
+	if len(snap.Families) != 3 {
+		t.Fatalf("%d families", len(snap.Families))
+	}
+	words := snap.Families[2]
+	if words.Name != "words_total" || len(words.Samples) != 2 {
+		t.Fatalf("words family %+v", words)
+	}
+	// Samples sort by label key: "approx" < "exact".
+	if words.Samples[0].Value != 2 || words.Samples[1].Value != 1 {
+		t.Fatalf("words samples %+v", words.Samples)
+	}
+}
+
+func TestGaugeFuncAndCollector(t *testing.T) {
+	r := NewRegistry()
+	v := 1.0
+	r.GaugeFunc("uptime", "seconds", func() float64 { return v })
+	r.Collector("flits_total", "flits", TypeCounter, []string{"dir"}, func() []Sample {
+		return []Sample{
+			{LabelValues: []string{"in"}, Value: 7},
+			{LabelValues: []string{"out"}, Value: 5},
+		}
+	})
+	v = 2.5
+	snap := r.Snapshot()
+	if got := snap.Families[0].Samples; len(got) != 2 || got[0].Value != 7 {
+		t.Fatalf("collector samples %+v", got)
+	}
+	if got := snap.Families[1].Samples[0].Value; got != 2.5 {
+		t.Fatalf("gauge func = %g, want the live value 2.5", got)
+	}
+}
+
+func TestSnapshotSortedByName(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("zebra", "")
+	r.Counter("alpha", "")
+	r.Counter("mid", "")
+	snap := r.Snapshot()
+	names := []string{snap.Families[0].Name, snap.Families[1].Name, snap.Families[2].Name}
+	if names[0] != "alpha" || names[1] != "mid" || names[2] != "zebra" {
+		t.Fatalf("family order %v", names)
+	}
+}
+
+func TestResetZeroesInstrumentsOnly(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "")
+	g := r.Gauge("g", "")
+	h := r.Histogram("h_ns", "")
+	s := r.Summary("s", "")
+	r.Collector("pull_total", "", TypeCounter, nil, func() []Sample {
+		return []Sample{{Value: 99}}
+	})
+	c.Add(5)
+	g.Set(5)
+	h.Observe(time.Second)
+	s.Observe(5)
+	r.Reset()
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 {
+		t.Fatalf("instruments survived reset: c=%d g=%g h=%d", c.Value(), g.Value(), h.Count())
+	}
+	if got := s.samples()[0].Value; got != 0 {
+		t.Fatalf("summary count after reset = %g", got)
+	}
+	snap := r.Snapshot()
+	for _, f := range snap.Families {
+		if f.Name == "pull_total" && f.Samples[0].Value != 99 {
+			t.Fatal("reset touched a collector-backed family")
+		}
+	}
+}
+
+func TestRegistrationPanics(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	r := NewRegistry()
+	r.Counter("dup_total", "")
+	mustPanic("duplicate name", func() { r.Counter("dup_total", "") })
+	mustPanic("empty name", func() { r.Counter("", "") })
+	mustPanic("uppercase name", func() { r.Counter("BadName", "") })
+	mustPanic("leading digit", func() { r.Counter("9lives", "") })
+	mustPanic("bad label", func() { r.CounterVec("ok_total", "", "bad-label") })
+	mustPanic("nil collector", func() { r.Collector("nilc", "", TypeCounter, nil, nil) })
+	cv := r.CounterVec("arity_total", "", "a", "b")
+	mustPanic("label arity", func() { cv.With("only-one") })
+}
+
+func TestValidName(t *testing.T) {
+	for name, want := range map[string]bool{
+		"ok":        true,
+		"snake_2":   true,
+		"_leading":  true,
+		"":          false,
+		"1st":       false,
+		"has space": false,
+		"Upper":     false,
+		"dash-ed":   false,
+	} {
+		if got := validName(name); got != want {
+			t.Errorf("validName(%q) = %v, want %v", name, got, want)
+		}
+	}
+}
+
+func TestTypeString(t *testing.T) {
+	for typ, want := range map[Type]string{
+		TypeCounter:   "counter",
+		TypeGauge:     "gauge",
+		TypeHistogram: "histogram",
+		TypeSummary:   "summary",
+		Type(200):     "Type(200)",
+	} {
+		if got := typ.String(); got != want {
+			t.Errorf("Type(%d).String() = %q, want %q", uint8(typ), got, want)
+		}
+	}
+}

@@ -1,0 +1,217 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// EventKind names one traced NoC-level event.
+type EventKind uint8
+
+const (
+	// EvFlitInject is a flit entering the network at an NI (A: packet id,
+	// B: flit index within the packet).
+	EvFlitInject EventKind = iota
+	// EvFlitEject is a flit leaving the network at an NI (A: packet id).
+	EvFlitEject
+	// EvVCAlloc is an output virtual channel grant at a router (A: packet
+	// id, B: outPort<<8 | outVC).
+	EvVCAlloc
+	// EvCompress is a block passing through an encoder (A: packet id or
+	// request tag, B: encoded payload bits).
+	EvCompress
+	// EvDecompress is a block passing through a decoder (A: packet id or
+	// request tag, B: dictionary notifications emitted).
+	EvDecompress
+	// EvApproxHit is a VAXX engine approximating at least one word of a
+	// block (A: packet id or request tag, B: approximated word count).
+	EvApproxHit
+	// EvPMTUpdate is a pattern-matching-table write driven by a
+	// dictionary update notification (A: table index, B: pattern).
+	EvPMTUpdate
+	// EvBatch is a gateway shard worker dispatching a coalesced batch
+	// (A: batch size).
+	EvBatch
+	// EvOverload is a gateway submission rejected with ErrOverloaded
+	// (A: request tag).
+	EvOverload
+)
+
+var eventKindNames = [...]string{
+	EvFlitInject: "flit-inject",
+	EvFlitEject:  "flit-eject",
+	EvVCAlloc:    "vc-alloc",
+	EvCompress:   "compress",
+	EvDecompress: "decompress",
+	EvApproxHit:  "approx-hit",
+	EvPMTUpdate:  "pmt-update",
+	EvBatch:      "batch",
+	EvOverload:   "overload",
+}
+
+func (k EventKind) String() string {
+	if int(k) < len(eventKindNames) {
+		return eventKindNames[k]
+	}
+	return fmt.Sprintf("EventKind(%d)", uint8(k))
+}
+
+// Event is one traced occurrence. Cycle is the simulation cycle for NoC
+// events and nanoseconds since gateway start for serving events; Node is
+// the tile, router or shard the event happened at; A and B are
+// kind-specific arguments (see the EventKind docs).
+type Event struct {
+	Cycle uint64
+	Kind  EventKind
+	Node  int32
+	A, B  uint64
+}
+
+func (e Event) String() string {
+	return fmt.Sprintf("cycle=%d kind=%s node=%d a=%d b=%d", e.Cycle, e.Kind, e.Node, e.A, e.B)
+}
+
+// traceShard is one ring buffer. buf is fixed-size; n counts every event
+// ever written, so buf[n%len] is the next slot and n-len(buf) events
+// have been evicted once n exceeds the capacity.
+type traceShard struct {
+	mu  sync.Mutex
+	buf []Event
+	n   uint64
+}
+
+// Tracer is a bounded, sharded ring-buffer event recorder. Record never
+// blocks: each event goes to the shard selected by its Node; if that
+// shard's lock is held (a concurrent snapshot, or another worker
+// colliding on the shard) the event is counted as dropped instead of
+// waited for, and when a ring is full the oldest event is evicted. A nil
+// *Tracer is valid and disabled — every method is a cheap no-op — so
+// call sites need no conditional wiring.
+type Tracer struct {
+	shards  []traceShard
+	dropped atomic.Uint64
+	evicted atomic.Uint64
+}
+
+// NewTracer returns a tracer with the given shard count and per-shard
+// event capacity; values below 1 are raised to 1.
+func NewTracer(shards, perShard int) *Tracer {
+	if shards < 1 {
+		shards = 1
+	}
+	if perShard < 1 {
+		perShard = 1
+	}
+	t := &Tracer{shards: make([]traceShard, shards)}
+	for i := range t.shards {
+		t.shards[i].buf = make([]Event, perShard)
+	}
+	return t
+}
+
+// Record appends one event. It never blocks: contended shards count the
+// event as dropped, full rings evict their oldest event.
+func (t *Tracer) Record(e Event) {
+	if t == nil {
+		return
+	}
+	s := &t.shards[int(uint32(e.Node))%len(t.shards)]
+	if !s.mu.TryLock() {
+		t.dropped.Add(1)
+		return
+	}
+	if s.n >= uint64(len(s.buf)) {
+		t.evicted.Add(1)
+	}
+	s.buf[s.n%uint64(len(s.buf))] = e
+	s.n++
+	s.mu.Unlock()
+}
+
+// Snapshot copies the retained events, oldest first, stably sorted by
+// Cycle (events from one shard keep their recording order within a
+// cycle). Safe to call concurrently with Record.
+func (t *Tracer) Snapshot() []Event {
+	if t == nil {
+		return nil
+	}
+	var out []Event
+	for i := range t.shards {
+		s := &t.shards[i]
+		s.mu.Lock()
+		n := s.n
+		if n > uint64(len(s.buf)) {
+			start := n % uint64(len(s.buf))
+			out = append(out, s.buf[start:]...)
+			out = append(out, s.buf[:start]...)
+		} else {
+			out = append(out, s.buf[:n]...)
+		}
+		s.mu.Unlock()
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Cycle < out[j].Cycle })
+	return out
+}
+
+// Len returns the number of retained events.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	n := 0
+	for i := range t.shards {
+		s := &t.shards[i]
+		s.mu.Lock()
+		if s.n > uint64(len(s.buf)) {
+			n += len(s.buf)
+		} else {
+			n += int(s.n)
+		}
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// Dropped returns events lost to shard contention.
+func (t *Tracer) Dropped() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.dropped.Load()
+}
+
+// Evicted returns events overwritten by ring wrap-around.
+func (t *Tracer) Evicted() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.evicted.Load()
+}
+
+// Reset discards every retained event and zeroes the loss counters.
+func (t *Tracer) Reset() {
+	if t == nil {
+		return
+	}
+	for i := range t.shards {
+		s := &t.shards[i]
+		s.mu.Lock()
+		s.n = 0
+		s.mu.Unlock()
+	}
+	t.dropped.Store(0)
+	t.evicted.Store(0)
+}
+
+// RegisterMetrics exports the tracer's own health counters on reg, so a
+// scrape shows whether the trace ring is keeping up.
+func (t *Tracer) RegisterMetrics(reg *Registry) {
+	reg.Collector("obs_trace_events", "events retained in the trace ring",
+		TypeGauge, nil, func() []Sample { return []Sample{{Value: float64(t.Len())}} })
+	reg.Collector("obs_trace_dropped_total", "trace events lost to shard contention",
+		TypeCounter, nil, func() []Sample { return []Sample{{Value: float64(t.Dropped())}} })
+	reg.Collector("obs_trace_evicted_total", "trace events overwritten by ring wrap-around",
+		TypeCounter, nil, func() []Sample { return []Sample{{Value: float64(t.Evicted())}} })
+}

@@ -1,0 +1,128 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTracerRecordAndSnapshot(t *testing.T) {
+	tr := NewTracer(4, 16)
+	for i := 0; i < 10; i++ {
+		tr.Record(Event{Cycle: uint64(10 - i), Kind: EvFlitInject, Node: int32(i), A: uint64(i)})
+	}
+	if tr.Len() != 10 {
+		t.Fatalf("len = %d", tr.Len())
+	}
+	events := tr.Snapshot()
+	if len(events) != 10 {
+		t.Fatalf("snapshot has %d events", len(events))
+	}
+	for i := 1; i < len(events); i++ {
+		if events[i].Cycle < events[i-1].Cycle {
+			t.Fatalf("snapshot not cycle-ordered at %d: %v", i, events)
+		}
+	}
+	if tr.Dropped() != 0 || tr.Evicted() != 0 {
+		t.Fatalf("dropped=%d evicted=%d on an uncontended run", tr.Dropped(), tr.Evicted())
+	}
+}
+
+func TestTracerEviction(t *testing.T) {
+	tr := NewTracer(1, 4)
+	for i := 0; i < 10; i++ {
+		tr.Record(Event{Cycle: uint64(i), Node: 0, A: uint64(i)})
+	}
+	if tr.Len() != 4 {
+		t.Fatalf("len = %d, want ring capacity 4", tr.Len())
+	}
+	if tr.Evicted() != 6 {
+		t.Fatalf("evicted = %d, want 6", tr.Evicted())
+	}
+	events := tr.Snapshot()
+	// The ring keeps the newest 4 events, oldest first.
+	for i, e := range events {
+		if e.A != uint64(6+i) {
+			t.Fatalf("event %d = %+v, want A=%d", i, e, 6+i)
+		}
+	}
+}
+
+func TestTracerReset(t *testing.T) {
+	tr := NewTracer(2, 2)
+	for i := 0; i < 8; i++ {
+		tr.Record(Event{Node: int32(i)})
+	}
+	tr.Reset()
+	if tr.Len() != 0 || tr.Dropped() != 0 || tr.Evicted() != 0 || len(tr.Snapshot()) != 0 {
+		t.Fatalf("reset left state: len=%d dropped=%d evicted=%d", tr.Len(), tr.Dropped(), tr.Evicted())
+	}
+}
+
+func TestNilTracerIsDisabled(t *testing.T) {
+	var tr *Tracer
+	tr.Record(Event{}) // must not panic
+	if tr.Len() != 0 || tr.Snapshot() != nil || tr.Dropped() != 0 || tr.Evicted() != 0 {
+		t.Fatal("nil tracer reported state")
+	}
+	tr.Reset()
+}
+
+func TestNewTracerClampsSizes(t *testing.T) {
+	tr := NewTracer(0, -5)
+	tr.Record(Event{Node: -3}) // negative node must map to a valid shard
+	if tr.Len() != 1 {
+		t.Fatalf("len = %d", tr.Len())
+	}
+}
+
+func TestEventKindString(t *testing.T) {
+	for kind, want := range map[EventKind]string{
+		EvFlitInject:   "flit-inject",
+		EvFlitEject:    "flit-eject",
+		EvVCAlloc:      "vc-alloc",
+		EvCompress:     "compress",
+		EvDecompress:   "decompress",
+		EvApproxHit:    "approx-hit",
+		EvPMTUpdate:    "pmt-update",
+		EvBatch:        "batch",
+		EvOverload:     "overload",
+		EventKind(200): "EventKind(200)",
+	} {
+		if got := kind.String(); got != want {
+			t.Errorf("EventKind(%d).String() = %q, want %q", uint8(kind), got, want)
+		}
+	}
+}
+
+func TestEventString(t *testing.T) {
+	e := Event{Cycle: 7, Kind: EvVCAlloc, Node: 3, A: 1, B: 2}
+	if got := e.String(); got != "cycle=7 kind=vc-alloc node=3 a=1 b=2" {
+		t.Fatalf("event string %q", got)
+	}
+}
+
+func TestTracerRegisterMetrics(t *testing.T) {
+	tr := NewTracer(1, 2)
+	reg := NewRegistry()
+	tr.RegisterMetrics(reg)
+	for i := 0; i < 3; i++ {
+		tr.Record(Event{Cycle: uint64(i)})
+	}
+	var sb strings.Builder
+	if err := reg.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	exp, err := ParseText(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exp.Values["obs_trace_events"] != 2 {
+		t.Fatalf("obs_trace_events = %g, want ring capacity 2", exp.Values["obs_trace_events"])
+	}
+	if exp.Values["obs_trace_evicted_total"] != 1 {
+		t.Fatalf("obs_trace_evicted_total = %g", exp.Values["obs_trace_evicted_total"])
+	}
+	if _, ok := exp.Values["obs_trace_dropped_total"]; !ok {
+		t.Fatal("obs_trace_dropped_total missing")
+	}
+}

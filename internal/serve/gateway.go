@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"approxnoc/internal/compress"
+	"approxnoc/internal/obs"
 )
 
 // Gateway is the concurrent approximation/compression service. It owns
@@ -114,6 +115,7 @@ func (g *Gateway) Submit(req Request, reply chan<- Result) error {
 		return nil
 	default:
 		sh.rejected.Add(1)
+		sh.trace(obs.EvOverload, req.Tag, 0)
 		return ErrOverloaded
 	}
 }

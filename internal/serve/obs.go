@@ -1,0 +1,122 @@
+package serve
+
+import (
+	"strconv"
+
+	"approxnoc/internal/compress"
+	"approxnoc/internal/obs"
+	"approxnoc/internal/stats"
+)
+
+// RegisterMetrics exports the gateway's live state on reg as
+// collector-backed families: per-shard request counters, queue depths,
+// service-latency quantiles, payload accounting, and the aggregated
+// codec statistics. Every collector reads the shard atomics (or the
+// channel length), so scraping is safe at any moment under full load
+// and never blocks a shard worker.
+//
+// The family names are part of the golden-pinned exposition contract;
+// see DESIGN.md §8 for the naming scheme.
+func (g *Gateway) RegisterMetrics(reg *obs.Registry) {
+	label := func(sh *shard) []string { return []string{strconv.Itoa(sh.id)} }
+	counter := func(name, help string, read func(*shard) uint64) {
+		reg.Collector(name, help, obs.TypeCounter, []string{"shard"}, func() []obs.Sample {
+			out := make([]obs.Sample, len(g.shards))
+			for i, sh := range g.shards {
+				out[i] = obs.Sample{LabelValues: label(sh), Value: float64(read(sh))}
+			}
+			return out
+		})
+	}
+	counter("serve_accepted_total", "requests admitted to a shard queue",
+		func(sh *shard) uint64 { return sh.accepted.Load() })
+	counter("serve_rejected_total", "requests turned away with ErrOverloaded",
+		func(sh *shard) uint64 { return sh.rejected.Load() })
+	counter("serve_processed_total", "requests completed by shard workers",
+		func(sh *shard) uint64 { return sh.processed.Load() })
+	counter("serve_batches_total", "worker dispatches",
+		func(sh *shard) uint64 { return sh.batches.Load() })
+	counter("serve_coalesced_total", "requests sharing a dispatch with another",
+		func(sh *shard) uint64 { return sh.coalesced.Load() })
+	counter("serve_dropped_replies_total", "results discarded for lack of a reply slot",
+		func(sh *shard) uint64 { return sh.dropped.Load() })
+	counter("serve_bits_in_total", "uncompressed payload bits",
+		func(sh *shard) uint64 { return sh.bitsIn.Load() })
+	counter("serve_bits_out_total", "encoded payload bits",
+		func(sh *shard) uint64 { return sh.bitsOut.Load() })
+
+	reg.Collector("serve_queue_depth", "requests waiting in each shard queue",
+		obs.TypeGauge, []string{"shard"}, func() []obs.Sample {
+			out := make([]obs.Sample, len(g.shards))
+			for i, sh := range g.shards {
+				out[i] = obs.Sample{LabelValues: label(sh), Value: float64(len(sh.queue))}
+			}
+			return out
+		})
+	reg.GaugeFunc("serve_queue_capacity", "per-shard queue bound (QueueDepth)",
+		func() float64 { return float64(g.cfg.QueueDepth) })
+	reg.GaugeFunc("serve_shards", "shard worker count",
+		func() float64 { return float64(len(g.shards)) })
+
+	reg.Collector("serve_latency_ns", "enqueue-to-completion service latency",
+		obs.TypeHistogram, []string{"shard"}, func() []obs.Sample {
+			out := make([]obs.Sample, 0, 3*(len(g.shards)+1))
+			var merged stats.LatencySnapshot
+			for _, sh := range g.shards {
+				snap := sh.lat.Snapshot()
+				merged.Add(snap)
+				out = append(out,
+					obs.Sample{LabelValues: label(sh), Suffix: "_count", Value: float64(snap.Count())},
+					obs.Sample{LabelValues: label(sh), Suffix: "_p50_ns", Value: float64(snap.Quantile(0.50))},
+					obs.Sample{LabelValues: label(sh), Suffix: "_p99_ns", Value: float64(snap.Quantile(0.99))},
+				)
+			}
+			out = append(out,
+				obs.Sample{LabelValues: []string{"all"}, Suffix: "_count", Value: float64(merged.Count())},
+				obs.Sample{LabelValues: []string{"all"}, Suffix: "_p50_ns", Value: float64(merged.Quantile(0.50))},
+				obs.Sample{LabelValues: []string{"all"}, Suffix: "_p99_ns", Value: float64(merged.Quantile(0.99))},
+			)
+			return out
+		})
+
+	registerCodecMetrics(reg, "serve", g.CodecStats)
+}
+
+// registerCodecMetrics exports a compress.OpStats source under prefix.
+// Mirrors the NoC-side families so both layers expose the same shapes.
+func registerCodecMetrics(reg *obs.Registry, prefix string, src func() compress.OpStats) {
+	reg.Collector(prefix+"_codec_blocks_total", "blocks through the codecs, by direction",
+		obs.TypeCounter, []string{"dir"}, func() []obs.Sample {
+			s := src()
+			return []obs.Sample{
+				{LabelValues: []string{"decoded"}, Value: float64(s.BlocksDecoded)},
+				{LabelValues: []string{"encoded"}, Value: float64(s.BlocksIn)},
+			}
+		})
+	reg.Collector(prefix+"_codec_words_total", "encoder word outcomes: compressed exact/approx or raw",
+		obs.TypeCounter, []string{"kind"}, func() []obs.Sample {
+			s := src()
+			return []obs.Sample{
+				{LabelValues: []string{"approx"}, Value: float64(s.WordsApprox)},
+				{LabelValues: []string{"exact"}, Value: float64(s.WordsExact)},
+				{LabelValues: []string{"raw"}, Value: float64(s.WordsRaw)},
+			}
+		})
+	reg.Collector(prefix+"_codec_avcl_total", "approximate value compute logic outcomes",
+		obs.TypeCounter, []string{"op"}, func() []obs.Sample {
+			s := src()
+			return []obs.Sample{
+				{LabelValues: []string{"bypass"}, Value: float64(s.AVCLBypasses)},
+				{LabelValues: []string{"clip"}, Value: float64(s.AVCLClips)},
+				{LabelValues: []string{"mask_hit"}, Value: float64(s.AVCLMaskHits)},
+			}
+		})
+	reg.Collector(prefix+"_codec_compression_ratio", "uncompressed over encoded payload bits",
+		obs.TypeGauge, nil, func() []obs.Sample {
+			return []obs.Sample{{Value: src().CompressionRatio()}}
+		})
+	reg.Collector(prefix+"_codec_data_quality", "1 - mean relative word error",
+		obs.TypeGauge, nil, func() []obs.Sample {
+			return []obs.Sample{{Value: src().DataQuality()}}
+		})
+}

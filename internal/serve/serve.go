@@ -35,6 +35,7 @@ import (
 	"runtime"
 
 	"approxnoc/internal/compress"
+	"approxnoc/internal/obs"
 	"approxnoc/internal/value"
 )
 
@@ -125,6 +126,11 @@ type Config struct {
 	// Locked selects the fallback mode: one shared codec fabric guarded
 	// by a mutex instead of per-shard pools.
 	Locked bool
+	// Tracer, when non-nil, receives per-request gateway events (batch
+	// dispatches, compress/decompress, overload rejections). Recording
+	// never blocks a shard worker: contended events are counted as
+	// dropped by the tracer instead.
+	Tracer *obs.Tracer
 }
 
 // DefaultConfig returns a gateway configuration for the paper's main

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"approxnoc/internal/compress"
+	"approxnoc/internal/obs"
 	"approxnoc/internal/stats"
 )
 
@@ -96,6 +97,8 @@ type shard struct {
 	statsReq   chan chan<- compress.OpStats
 	defaultPct int
 	maxBatch   int
+	tracer     *obs.Tracer // nil when tracing is disabled
+	epoch      time.Time   // event timestamps are nanoseconds since here
 
 	// Counters are atomics: accepted/rejected are bumped by submitting
 	// goroutines, the rest by the worker, and all are read concurrently
@@ -121,6 +124,8 @@ func newShard(id int, p *pool, cfg Config) *shard {
 		statsReq:   make(chan chan<- compress.OpStats),
 		defaultPct: cfg.ThresholdPct,
 		maxBatch:   cfg.MaxBatch,
+		tracer:     cfg.Tracer,
+		epoch:      time.Now(),
 	}
 }
 
@@ -161,12 +166,28 @@ func (s *shard) run(wg *sync.WaitGroup) {
 	}
 }
 
+// trace records one gateway event stamped with nanoseconds since the
+// shard started; a nil tracer makes it a single-branch no-op.
+func (s *shard) trace(kind obs.EventKind, a, b uint64) {
+	if s.tracer == nil {
+		return
+	}
+	s.tracer.Record(obs.Event{
+		Cycle: uint64(time.Since(s.epoch)),
+		Kind:  kind,
+		Node:  int32(s.id),
+		A:     a,
+		B:     b,
+	})
+}
+
 // process services one coalesced batch.
 func (s *shard) process(batch []pending) {
 	s.batches.Add(1)
 	if len(batch) > 1 {
 		s.coalesced.Add(uint64(len(batch)))
 	}
+	s.trace(obs.EvBatch, uint64(len(batch)), 0)
 	for _, p := range batch {
 		res := s.pool.transfer(p.req, s.defaultPct)
 		if res.Err == nil {
@@ -174,6 +195,8 @@ func (s *shard) process(batch []pending) {
 			s.bitsOut.Add(uint64(res.BitsOut))
 			s.bytesIn.Add(uint64(p.req.Block.Bytes()))
 			s.bytesOut.Add(uint64((res.BitsOut + 7) / 8))
+			s.trace(obs.EvCompress, p.req.Tag, uint64(res.BitsOut))
+			s.trace(obs.EvDecompress, p.req.Tag, uint64(len(res.Block.Words)))
 		}
 		s.processed.Add(1)
 		s.lat.Observe(time.Since(p.enq))

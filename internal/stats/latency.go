@@ -42,6 +42,14 @@ func (h *LatencyHist) Quantile(q float64) time.Duration {
 	return s.Quantile(q)
 }
 
+// Reset zeroes every bucket. Like Snapshot it is weakly consistent:
+// observations racing the reset land in either epoch, never corrupt it.
+func (h *LatencyHist) Reset() {
+	for i := range h.counts {
+		h.counts[i].Store(0)
+	}
+}
+
 // Snapshot returns a weakly-consistent copy of the bucket counts, for
 // merging histograms across shards before computing quantiles.
 func (h *LatencyHist) Snapshot() LatencySnapshot {

@@ -5,9 +5,11 @@ import (
 	"errors"
 	"fmt"
 	"strings"
+	"time"
 
 	"approxnoc/internal/approx"
 	"approxnoc/internal/compress"
+	"approxnoc/internal/obs"
 	"approxnoc/internal/serve"
 	"approxnoc/internal/value"
 )
@@ -199,5 +201,47 @@ func genFrames(w *bytes.Buffer, r *rng) {
 			panic(err)
 		}
 		fmt.Fprintf(w, "res tag=%d hex=%x\n", res.Tag, frame)
+	}
+}
+
+// genMetrics pins the obs text exposition format: a registry with every
+// instrument kind, labels, suffixes, and value shapes, rendered through
+// WriteText. A diff means scrape consumers would see different bytes
+// for identical state.
+func genMetrics(w *bytes.Buffer, r *rng) {
+	reg := obs.NewRegistry()
+
+	reqs := reg.Counter("demo_requests_total", "requests served")
+	words := reg.CounterVec("demo_words_total", "encoder word outcomes", "kind")
+	depth := reg.Gauge("demo_queue_depth", "live queue depth")
+	ratio := reg.GaugeVec("demo_ratio", "compression ratio", "scheme", "threshold")
+	lat := reg.Histogram("demo_latency_ns", "request latency")
+	errs := reg.Summary("demo_rel_error", "relative word error")
+	reg.GaugeFunc("demo_uptime_seconds", "seconds since boot", func() float64 { return 1234.5 })
+	reg.Collector("demo_flits_total", "flits by direction", obs.TypeCounter,
+		[]string{"dir"}, func() []obs.Sample {
+			return []obs.Sample{
+				{LabelValues: []string{"ejected"}, Value: 4093},
+				{LabelValues: []string{"injected"}, Value: 4099},
+			}
+		})
+
+	reqs.Add(uint64(r.intn(100000)))
+	for _, kind := range []string{"approx", "exact", "raw"} {
+		words.With(kind).Add(uint64(r.intn(5000)))
+	}
+	depth.Set(float64(r.intn(64)))
+	for _, scheme := range []string{"di", "fp"} {
+		for _, thr := range []string{"0", "5", "10"} {
+			ratio.With(scheme, thr).Set(1 + float64(r.intn(1000))/512)
+		}
+	}
+	for i := 0; i < 200; i++ {
+		lat.Observe(time.Duration(r.intn(1 << uint(4+r.intn(16)))))
+		errs.Observe(float64(r.intn(1000)) / 10000)
+	}
+
+	if err := reg.WriteText(w); err != nil {
+		panic(err)
 	}
 }

@@ -50,6 +50,7 @@ var Suites = []Suite{
 	{Name: "dict", Path: "internal/compress/testdata/golden_dict.txt", gen: genDict},
 	{Name: "masks", Path: "internal/approx/testdata/golden_masks.txt", gen: genMasks},
 	{Name: "frames", Path: "internal/serve/testdata/golden_frames.txt", gen: genFrames},
+	{Name: "metrics", Path: "internal/obs/testdata/golden_metrics.txt", gen: genMetrics},
 }
 
 // Generate produces the contents of one golden file.

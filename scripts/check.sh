@@ -32,6 +32,20 @@ go test -short -coverprofile "$coverprofile" ./...
 go tool cover -func "$coverprofile" | tail -1
 echo "coverage profile: $coverprofile"
 
+# The observability layer is the instrumentation everything else leans
+# on, so it carries an explicit coverage floor.
+echo '>> internal/obs coverage floor (85%)'
+obs_cover=$(go test -short -cover ./internal/obs | sed -n 's/.*coverage: \([0-9.]*\)% of statements.*/\1/p')
+if [ -z "$obs_cover" ]; then
+    echo "could not determine internal/obs coverage" >&2
+    exit 1
+fi
+echo "internal/obs coverage: ${obs_cover}%"
+if awk "BEGIN { exit !($obs_cover < 85) }"; then
+    echo "internal/obs coverage ${obs_cover}% is below the 85% floor" >&2
+    exit 1
+fi
+
 if [ "${FUZZ:-0}" = "1" ]; then
     echo '>> fuzz smoke'
     ./scripts/fuzz_smoke.sh
