@@ -14,36 +14,78 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"approxnoc/internal/compress"
 	"approxnoc/internal/experiments"
 )
 
+// experimentOrder drives `-exp all` and must list each artifact exactly
+// once: fig10a/fig10b render the same table, so only the combined fig10
+// id appears here (both aliases still resolve via -exp).
 var experimentOrder = []string{
-	"table1", "fig9", "fig10a", "fig10b", "fig11", "fig12",
+	"table1", "fig9", "fig10", "fig11", "fig12",
 	"fig13", "fig14", "fig15", "fig16", "fig17", "area",
 	"ablation-overlap", "ablation-pmt", "ablation-window", "ablation-adaptive",
 	"extension-bdi", "ablation-matchunits", "ablation-router", "fig16-measured",
 }
 
 func main() {
+	os.Exit(realMain())
+}
+
+// realMain carries the exit code back through a return so the deferred
+// profile writers (cpuprofile/memprofile) flush before the process exits.
+func realMain() int {
 	exp := flag.String("exp", "", "experiment id (see -list), or 'all'")
 	list := flag.Bool("list", false, "list experiment ids")
 	cycles := flag.Int("cycles", 50000, "injection cycles per trace replay")
 	threshold := flag.Int("threshold", 10, "VAXX error threshold (%)")
 	ratio := flag.Float64("ratio", 0.75, "approximable data packet ratio")
 	seed := flag.Uint64("seed", 1, "simulation seed")
+	jobs := flag.Int("jobs", runtime.GOMAXPROCS(0), "parallel trace replays (results are identical for any value)")
 	asJSON := flag.Bool("json", false, "emit rows as JSON instead of tables")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
 
 	if *list {
 		fmt.Println(strings.Join(experimentOrder, "\n"))
-		return
+		return 0
 	}
 	if *exp == "" {
 		fmt.Fprintln(os.Stderr, "approxnoc-bench: -exp required (try -list)")
-		os.Exit(2)
+		return 2
+	}
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "approxnoc-bench: cpuprofile: %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "approxnoc-bench: cpuprofile: %v\n", err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "approxnoc-bench: memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "approxnoc-bench: memprofile: %v\n", err)
+			}
+		}()
 	}
 
 	cfg := experiments.Default()
@@ -51,6 +93,7 @@ func main() {
 	cfg.ErrorThreshold = *threshold
 	cfg.ApproxRatio = *ratio
 	cfg.Seed = *seed
+	cfg.Jobs = *jobs
 
 	ids := []string{*exp}
 	if *exp == "all" {
@@ -60,19 +103,20 @@ func main() {
 		rows, out, err := run(id, cfg)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "approxnoc-bench: %s: %v\n", id, err)
-			os.Exit(1)
+			return 1
 		}
 		if *asJSON {
 			enc, err := json.MarshalIndent(map[string]any{"experiment": id, "rows": rows}, "", "  ")
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "approxnoc-bench: %s: %v\n", id, err)
-				os.Exit(1)
+				return 1
 			}
 			fmt.Println(string(enc))
 			continue
 		}
 		fmt.Println(out)
 	}
+	return 0
 }
 
 func run(id string, cfg experiments.Config) (any, string, error) {
@@ -129,12 +173,13 @@ func run(id string, cfg experiments.Config) (any, string, error) {
 		}
 		return rows, experiments.FormatFig16(rows, nil), nil
 	case "fig16-measured":
-		rows, err := experiments.Fig16Measured(nil, nil)
+		rows, err := experiments.Fig16Measured(cfg.Runner(), nil, nil)
 		if err != nil {
 			return nil, "", err
 		}
-		return rows, "Fig. 16 (measured through the cycle-accurate NoC)\n" +
-			experiments.FormatFig16(rows, nil), nil
+		return rows, experiments.FormatFig16Titled(
+			"Fig. 16 (measured through the cycle-accurate NoC) — Application output error and normalized performance",
+			rows, nil), nil
 	case "fig17":
 		r, err := experiments.Fig17(compress.FPVaxx, cfg.ErrorThreshold)
 		if err != nil {

@@ -1,0 +1,235 @@
+// Command benchjson converts `go test -bench` output into the JSON
+// capture format committed as BENCH_*.json, and diffs two captures for
+// the regression gate.
+//
+// Capture (stdin -> stdout):
+//
+//	go test -bench . -benchmem -run '^$' ./... | benchjson > BENCH_5.json
+//
+// Compare (exits 1 on regression beyond tolerance):
+//
+//	benchjson -compare -old BENCH_4.json -new BENCH_5.json -tol 0.25
+//
+// The compare mode only gates ns/op and allocs/op: custom figure
+// metrics (latencies, ratios) are simulation outputs whose drift is
+// guarded by the determinism goldens, not by the benchmark harness.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Capture is the committed benchmark snapshot.
+type Capture struct {
+	Schema     string  `json:"schema"`
+	GoVersion  string  `json:"go_version"`
+	GOOS       string  `json:"goos"`
+	GOARCH     string  `json:"goarch"`
+	GOMAXPROCS int     `json:"gomaxprocs"`
+	CreatedAt  string  `json:"created_at"`
+	Benchmarks []Bench `json:"benchmarks"`
+}
+
+// Bench is one benchmark line. NsPerOp/BytesPerOp/AllocsPerOp hold the
+// standard units; everything else (the figure headline metrics,
+// blocks/sec, MB/s) lands in Metrics.
+type Bench struct {
+	Pkg         string             `json:"pkg"`
+	Name        string             `json:"name"`
+	Iters       int64              `json:"iters"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  float64            `json:"bytes_per_op"`
+	AllocsPerOp float64            `json:"allocs_per_op"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+func main() {
+	compare := flag.Bool("compare", false, "diff two captures instead of parsing bench output")
+	oldPath := flag.String("old", "", "baseline capture (compare mode)")
+	newPath := flag.String("new", "", "candidate capture (compare mode)")
+	tol := flag.Float64("tol", 0.25, "allowed fractional ns/op regression (compare mode)")
+	flag.Parse()
+
+	if *compare {
+		os.Exit(runCompare(*oldPath, *newPath, *tol))
+	}
+	cap, err := parse(os.Stdin)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(cap); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// parse reads `go test -bench` text output. Lines look like:
+//
+//	pkg: approxnoc/internal/noc
+//	BenchmarkStepObsOff-8   131581   9127 ns/op   0 B/op   0 allocs/op
+//
+// with arbitrary extra "value unit" pairs from b.ReportMetric.
+func parse(r io.Reader) (*Capture, error) {
+	cap := &Capture{
+		Schema:     "approxnoc-bench/v1",
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		CreatedAt:  time.Now().UTC().Format(time.RFC3339),
+	}
+	pkg := ""
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if rest, ok := strings.CutPrefix(line, "pkg: "); ok {
+			pkg = strings.TrimSpace(rest)
+			continue
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		// Name, iteration count, then at least one "value unit" pair.
+		if len(fields) < 4 || len(fields)%2 != 0 {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		b := Bench{
+			Pkg:   pkg,
+			Name:  fields[0],
+			Iters: iters,
+		}
+		// Strip the -N GOMAXPROCS suffix so captures from machines with
+		// different core counts still line up in compare mode.
+		if i := strings.LastIndex(b.Name, "-"); i > 0 {
+			if _, err := strconv.Atoi(b.Name[i+1:]); err == nil {
+				b.Name = b.Name[:i]
+			}
+		}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch unit := fields[i+1]; unit {
+			case "ns/op":
+				b.NsPerOp = v
+			case "B/op":
+				b.BytesPerOp = v
+			case "allocs/op":
+				b.AllocsPerOp = v
+			default:
+				if b.Metrics == nil {
+					b.Metrics = map[string]float64{}
+				}
+				b.Metrics[unit] = v
+			}
+		}
+		cap.Benchmarks = append(cap.Benchmarks, b)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(cap.Benchmarks) == 0 {
+		return nil, fmt.Errorf("no benchmark lines found on stdin")
+	}
+	return cap, nil
+}
+
+func load(path string) (*Capture, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var c Capture
+	if err := json.Unmarshal(data, &c); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &c, nil
+}
+
+// runCompare reports per-benchmark ns/op deltas and fails when the
+// candidate is more than tol slower, or allocates more per op, than the
+// baseline. Benchmarks present on only one side are reported but never
+// fail the gate (suites grow over time).
+func runCompare(oldPath, newPath string, tol float64) int {
+	if oldPath == "" || newPath == "" {
+		fmt.Fprintln(os.Stderr, "benchjson: -compare requires -old and -new")
+		return 2
+	}
+	oldCap, err := load(oldPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		return 2
+	}
+	newCap, err := load(newPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		return 2
+	}
+	key := func(b Bench) string { return b.Pkg + "." + b.Name }
+	oldBy := map[string]Bench{}
+	for _, b := range oldCap.Benchmarks {
+		oldBy[key(b)] = b
+	}
+	var keys []string
+	newBy := map[string]Bench{}
+	for _, b := range newCap.Benchmarks {
+		k := key(b)
+		newBy[k] = b
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	failed := 0
+	for _, k := range keys {
+		nb := newBy[k]
+		ob, ok := oldBy[k]
+		if !ok {
+			fmt.Printf("NEW   %-55s %12.0f ns/op %6.0f allocs/op\n", k, nb.NsPerOp, nb.AllocsPerOp)
+			continue
+		}
+		delta := 0.0
+		if ob.NsPerOp > 0 {
+			delta = (nb.NsPerOp - ob.NsPerOp) / ob.NsPerOp
+		}
+		status := "ok   "
+		if delta > tol {
+			status = "SLOW "
+			failed++
+		} else if nb.AllocsPerOp > ob.AllocsPerOp {
+			status = "ALLOC"
+			failed++
+		}
+		fmt.Printf("%s %-55s %12.0f -> %12.0f ns/op (%+6.1f%%)  allocs %4.0f -> %4.0f\n",
+			status, k, ob.NsPerOp, nb.NsPerOp, 100*delta, ob.AllocsPerOp, nb.AllocsPerOp)
+	}
+	for k := range oldBy {
+		if _, ok := newBy[k]; !ok {
+			fmt.Printf("GONE  %-55s\n", k)
+		}
+	}
+	if failed > 0 {
+		fmt.Printf("benchjson: %d benchmark(s) regressed beyond %.0f%% ns/op tolerance or grew allocs/op\n", failed, 100*tol)
+		return 1
+	}
+	fmt.Println("benchjson: no regressions")
+	return 0
+}

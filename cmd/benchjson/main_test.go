@@ -1,0 +1,102 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+func writeFile(path, body string) error {
+	return os.WriteFile(path, []byte(body), 0o644)
+}
+
+const sampleBench = `goos: linux
+goarch: amd64
+pkg: approxnoc/internal/noc
+cpu: unknown
+BenchmarkStepObsOff-8   	  131581	      9127 ns/op	       0 B/op	       0 allocs/op
+BenchmarkStepObsOn-8    	   50000	     21034 ns/op	      48 B/op	       2 allocs/op
+PASS
+ok  	approxnoc/internal/noc	2.532s
+pkg: approxnoc
+BenchmarkFig10-8        	       1	 512345678 ns/op	         1.842 gmean-fpvaxx-ratio	       100 B/op	       5 allocs/op
+ok  	approxnoc	0.9s
+`
+
+func TestParse(t *testing.T) {
+	cap, err := parse(strings.NewReader(sampleBench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cap.Benchmarks) != 3 {
+		t.Fatalf("got %d benchmarks, want 3", len(cap.Benchmarks))
+	}
+	b := cap.Benchmarks[0]
+	if b.Pkg != "approxnoc/internal/noc" || b.Name != "BenchmarkStepObsOff" {
+		t.Fatalf("bad pkg/name: %q %q", b.Pkg, b.Name)
+	}
+	if b.NsPerOp != 9127 || b.Iters != 131581 || b.AllocsPerOp != 0 {
+		t.Fatalf("bad standard units: %+v", b)
+	}
+	fig := cap.Benchmarks[2]
+	if fig.Pkg != "approxnoc" || fig.Metrics["gmean-fpvaxx-ratio"] != 1.842 {
+		t.Fatalf("custom metric not captured: %+v", fig)
+	}
+	if fig.BytesPerOp != 100 || fig.AllocsPerOp != 5 {
+		t.Fatalf("units after a custom metric lost: %+v", fig)
+	}
+	if cap.Schema != "approxnoc-bench/v1" || cap.GOMAXPROCS < 1 {
+		t.Fatalf("bad capture metadata: %+v", cap)
+	}
+}
+
+func TestParseRejectsEmpty(t *testing.T) {
+	if _, err := parse(strings.NewReader("PASS\nok x 1s\n")); err == nil {
+		t.Fatal("expected error on input without benchmark lines")
+	}
+}
+
+func TestCompare(t *testing.T) {
+	write := func(name, body string) string {
+		t.Helper()
+		p := t.TempDir() + "/" + name
+		if err := writeFile(p, body); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	oldJSON := `{"schema":"approxnoc-bench/v1","benchmarks":[
+		{"pkg":"p","name":"BenchmarkA","ns_per_op":100,"allocs_per_op":0},
+		{"pkg":"p","name":"BenchmarkB","ns_per_op":100,"allocs_per_op":2}]}`
+
+	// Within tolerance, same allocs: passes.
+	ok := `{"schema":"approxnoc-bench/v1","benchmarks":[
+		{"pkg":"p","name":"BenchmarkA","ns_per_op":110,"allocs_per_op":0},
+		{"pkg":"p","name":"BenchmarkB","ns_per_op":90,"allocs_per_op":2}]}`
+	if code := runCompare(write("old.json", oldJSON), write("ok.json", ok), 0.25); code != 0 {
+		t.Fatalf("in-tolerance compare exited %d, want 0", code)
+	}
+
+	// 2x slower: fails.
+	slow := `{"schema":"approxnoc-bench/v1","benchmarks":[
+		{"pkg":"p","name":"BenchmarkA","ns_per_op":200,"allocs_per_op":0}]}`
+	if code := runCompare(write("old2.json", oldJSON), write("slow.json", slow), 0.25); code != 1 {
+		t.Fatalf("regressed compare exited %d, want 1", code)
+	}
+
+	// Alloc growth fails even when ns/op improves.
+	allocs := `{"schema":"approxnoc-bench/v1","benchmarks":[
+		{"pkg":"p","name":"BenchmarkA","ns_per_op":50,"allocs_per_op":3}]}`
+	if code := runCompare(write("old3.json", oldJSON), write("allocs.json", allocs), 0.25); code != 1 {
+		t.Fatalf("alloc-growth compare exited %d, want 1", code)
+	}
+
+	// New benchmarks never fail the gate.
+	grown := `{"schema":"approxnoc-bench/v1","benchmarks":[
+		{"pkg":"p","name":"BenchmarkA","ns_per_op":100,"allocs_per_op":0},
+		{"pkg":"p","name":"BenchmarkB","ns_per_op":100,"allocs_per_op":2},
+		{"pkg":"p","name":"BenchmarkC","ns_per_op":999,"allocs_per_op":9}]}`
+	if code := runCompare(write("old4.json", oldJSON), write("grown.json", grown), 0.25); code != 0 {
+		t.Fatalf("grown-suite compare exited %d, want 0", code)
+	}
+}

@@ -111,6 +111,8 @@ func (c *bdiCodec) Compress(dst int, blk *value.Block) *Encoded {
 	c.stats.EncodeOps += uint64(len(blk.Words))
 
 	w := &bitWriter{}
+	// Worst case is raw mode: the mode header plus 32 bits per word.
+	w.grow(bdModeBits + 32*len(blk.Words))
 	var words []WordEnc
 
 	allZero := true

@@ -10,20 +10,31 @@ type bitWriter struct {
 }
 
 // WriteBits appends the low width bits of v, most significant first.
+// Bits are packed up to a byte at a time; the layout is identical to the
+// one-bit-per-iteration formulation.
 func (w *bitWriter) WriteBits(v uint32, width int) {
 	if width < 0 || width > 32 {
 		panic("compress: bit width out of range")
 	}
-	for i := width - 1; i >= 0; i-- {
-		bit := (v >> uint(i)) & 1
-		byteIdx := w.nbit / 8
-		if byteIdx == len(w.buf) {
-			w.buf = append(w.buf, 0)
+	if width < 32 {
+		v &= 1<<uint(width) - 1
+	}
+	need := (w.nbit + width + 7) / 8
+	for len(w.buf) < need {
+		w.buf = append(w.buf, 0)
+	}
+	n := w.nbit
+	w.nbit += width
+	for width > 0 {
+		free := 8 - n%8 // unwritten bits remaining in the current byte
+		take := width
+		if take > free {
+			take = free
 		}
-		if bit != 0 {
-			w.buf[byteIdx] |= 1 << uint(7-w.nbit%8)
-		}
-		w.nbit++
+		chunk := byte(v>>uint(width-take)) & (1<<uint(take) - 1)
+		w.buf[n/8] |= chunk << uint(free-take)
+		n += take
+		width -= take
 	}
 }
 
@@ -32,6 +43,18 @@ func (w *bitWriter) Len() int { return w.nbit }
 
 // Bytes returns the packed buffer.
 func (w *bitWriter) Bytes() []byte { return w.buf }
+
+// grow pre-sizes the buffer for an expected number of additional bits so
+// encoders pay at most one allocation per block.
+func (w *bitWriter) grow(bits int) {
+	need := (w.nbit + bits + 7) / 8
+	if need <= cap(w.buf) {
+		return
+	}
+	nb := make([]byte, len(w.buf), need)
+	copy(nb, w.buf)
+	w.buf = nb
+}
 
 // bitReader consumes fields written by bitWriter in order.
 type bitReader struct {
@@ -43,21 +66,30 @@ type bitReader struct {
 func newBitReader(buf []byte) *bitReader { return &bitReader{buf: buf} }
 
 // ReadBits extracts the next width bits MSB-first. Reading past the end
-// sets the failed flag and returns zero.
+// sets the failed flag, consumes the remaining bits, and returns zero —
+// the same terminal state the bit-at-a-time formulation left behind.
 func (r *bitReader) ReadBits(width int) uint32 {
 	if width < 0 || width > 32 {
 		panic("compress: bit width out of range")
 	}
+	if r.pos+width > len(r.buf)*8 {
+		r.pos = len(r.buf) * 8
+		r.fail = true
+		return 0
+	}
 	var v uint32
-	for i := 0; i < width; i++ {
-		byteIdx := r.pos / 8
-		if byteIdx >= len(r.buf) {
-			r.fail = true
-			return 0
+	n := r.pos
+	r.pos += width
+	for width > 0 {
+		avail := 8 - n%8 // unread bits remaining in the current byte
+		take := width
+		if take > avail {
+			take = avail
 		}
-		bit := (r.buf[byteIdx] >> uint(7-r.pos%8)) & 1
-		v = v<<1 | uint32(bit)
-		r.pos++
+		chunk := (r.buf[n/8] >> uint(avail-take)) & (1<<uint(take) - 1)
+		v = v<<uint(take) | uint32(chunk)
+		n += take
+		width -= take
 	}
 	return v
 }

@@ -273,6 +273,7 @@ func (b *baseline) Scheme() Scheme { return Baseline }
 
 func (b *baseline) Compress(dst int, blk *value.Block) *Encoded {
 	w := &bitWriter{}
+	w.grow(32 * len(blk.Words))
 	words := make([]WordEnc, len(blk.Words))
 	for i, word := range blk.Words {
 		w.WriteBits(word, 32)

@@ -248,6 +248,8 @@ func (d *dictCodec) Scheme() Scheme { return d.scheme }
 
 func (d *dictCodec) Compress(dst int, blk *value.Block) *Encoded {
 	w := &bitWriter{}
+	// Worst case every word goes raw: 1 flag bit + 32 data bits.
+	w.grow(33 * len(blk.Words))
 	words := make([]WordEnc, len(blk.Words))
 	d.stats.BlocksIn++
 	d.stats.WordsIn += uint64(len(blk.Words))

@@ -99,6 +99,9 @@ type fpCodec struct {
 	avcl   *approx.AVCL
 	budget quality.Budget
 	stats  OpStats
+	// runScratch is reused across Compress calls for zero-run staging;
+	// entries are copied into the result before the next reuse.
+	runScratch []WordEnc
 }
 
 // NewFPComp returns the exact frequent-pattern codec.
@@ -176,6 +179,9 @@ func (c *fpCodec) wordMask(w value.Word, blk *value.Block) uint32 {
 
 func (c *fpCodec) Compress(dst int, blk *value.Block) *Encoded {
 	w := &bitWriter{}
+	// Worst case every word goes raw (3-bit prefix + 32 bits); one exact
+	// allocation up front instead of append-driven growth.
+	w.grow((fpPrefixBits+32)*len(blk.Words) + fpZeroRunLenBits)
 	words := make([]WordEnc, 0, len(blk.Words))
 	c.stats.BlocksIn++
 	c.stats.WordsIn += uint64(len(blk.Words))
@@ -192,7 +198,7 @@ func (c *fpCodec) Compress(dst int, blk *value.Block) *Encoded {
 		// unmasked bits are zero and the error budget admits the rounding.
 		if word&^mask == 0 {
 			run := 0
-			var runWords []WordEnc
+			runWords := c.runScratch[:0]
 			for i < len(blk.Words) && run < fpMaxZeroRun {
 				zw := blk.Words[i]
 				zm := c.wordMask(zw, blk)
@@ -216,8 +222,10 @@ func (c *fpCodec) Compress(dst int, blk *value.Block) *Encoded {
 					c.recordWord(&runWords[j], blk.DType)
 				}
 				words = append(words, runWords...)
+				c.runScratch = runWords
 				continue
 			}
+			c.runScratch = runWords
 			// The structural zero match was refused by the error budget;
 			// fall through to the regular pattern rows.
 		}

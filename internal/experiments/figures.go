@@ -19,26 +19,46 @@ type Fig9Row struct {
 	Quality   float64 // data value quality, right axis of Fig. 9
 }
 
+// traceJob is one (benchmark, scheme) cell of a figure's replay grid.
+type traceJob struct {
+	model  workload.Model
+	scheme compress.Scheme
+}
+
+// traceGrid flattens the benchmark x scheme nesting every bar figure
+// shares, preserving the serial iteration order.
+func traceGrid(models []workload.Model, schemes []compress.Scheme) []traceJob {
+	jobs := make([]traceJob, 0, len(models)*len(schemes))
+	for _, m := range models {
+		for _, s := range schemes {
+			jobs = append(jobs, traceJob{model: m, scheme: s})
+		}
+	}
+	return jobs
+}
+
 // Fig9 replays every benchmark under every scheme and reports the average
 // packet latency breakdown and data quality.
 func Fig9(cfg Config) ([]Fig9Row, error) {
-	var rows []Fig9Row
-	for _, model := range workload.Benchmarks() {
-		for _, scheme := range schemesUnderTest() {
-			m, err := runTrace(cfg, model, scheme, cfg.ErrorThreshold, cfg.ApproxRatio, nil)
-			if err != nil {
-				return nil, err
-			}
-			rows = append(rows, Fig9Row{
-				Benchmark: model.Name,
-				Scheme:    scheme,
-				QueueLat:  m.Net.AvgQueueLatency(),
-				NetLat:    m.Net.AvgNetLatency(),
-				DecodeLat: m.Net.AvgDecodeLatency(),
-				TotalLat:  m.Net.AvgPacketLatency(),
-				Quality:   m.Codec.DataQuality(),
-			})
+	jobs := traceGrid(workload.Benchmarks(), schemesUnderTest())
+	rows, err := mapJobs(cfg.Runner(), len(jobs), func(i int) (Fig9Row, error) {
+		j := jobs[i]
+		m, err := runTrace(cfg, j.model, j.scheme, cfg.ErrorThreshold, cfg.ApproxRatio, nil)
+		if err != nil {
+			return Fig9Row{}, err
 		}
+		return Fig9Row{
+			Benchmark: j.model.Name,
+			Scheme:    j.scheme,
+			QueueLat:  m.Net.AvgQueueLatency(),
+			NetLat:    m.Net.AvgNetLatency(),
+			DecodeLat: m.Net.AvgDecodeLatency(),
+			TotalLat:  m.Net.AvgPacketLatency(),
+			Quality:   m.Codec.DataQuality(),
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	// Append the AVG pseudo-benchmark the figure plots.
 	for _, scheme := range schemesUnderTest() {
@@ -75,23 +95,25 @@ type Fig10Row struct {
 // Fig10 measures word-encoding breakdown and compression ratio for the
 // four compressing schemes.
 func Fig10(cfg Config) ([]Fig10Row, error) {
-	var rows []Fig10Row
 	schemes := []compress.Scheme{compress.DIComp, compress.DIVaxx, compress.FPComp, compress.FPVaxx}
-	for _, model := range workload.Benchmarks() {
-		for _, scheme := range schemes {
-			m, err := runTrace(cfg, model, scheme, cfg.ErrorThreshold, cfg.ApproxRatio, nil)
-			if err != nil {
-				return nil, err
-			}
-			rows = append(rows, Fig10Row{
-				Benchmark:   model.Name,
-				Scheme:      scheme,
-				ExactFrac:   m.Codec.EncodedWordFraction() - m.Codec.ApproxWordFraction(),
-				ApproxFrac:  m.Codec.ApproxWordFraction(),
-				EncodedFrac: m.Codec.EncodedWordFraction(),
-				Ratio:       m.Codec.CompressionRatio(),
-			})
+	jobs := traceGrid(workload.Benchmarks(), schemes)
+	rows, err := mapJobs(cfg.Runner(), len(jobs), func(i int) (Fig10Row, error) {
+		j := jobs[i]
+		m, err := runTrace(cfg, j.model, j.scheme, cfg.ErrorThreshold, cfg.ApproxRatio, nil)
+		if err != nil {
+			return Fig10Row{}, err
 		}
+		return Fig10Row{
+			Benchmark:   j.model.Name,
+			Scheme:      j.scheme,
+			ExactFrac:   m.Codec.EncodedWordFraction() - m.Codec.ApproxWordFraction(),
+			ApproxFrac:  m.Codec.ApproxWordFraction(),
+			EncodedFrac: m.Codec.EncodedWordFraction(),
+			Ratio:       m.Codec.CompressionRatio(),
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	// GMEAN pseudo-benchmark.
 	for _, scheme := range schemes {
@@ -121,25 +143,40 @@ type Fig11Row struct {
 	NormFlits float64
 }
 
-// Fig11 measures the reduction in injected data flits.
+// Fig11 measures the reduction in injected data flits. The replays fan
+// out in parallel; baseline normalization runs serially over the ordered
+// results, exactly as the nested serial loops did.
 func Fig11(cfg Config) ([]Fig11Row, error) {
+	models := workload.Benchmarks()
+	schemes := schemesUnderTest()
+	jobs := traceGrid(models, schemes)
+	ms, err := mapJobs(cfg.Runner(), len(jobs), func(i int) (RunMetrics, error) {
+		j := jobs[i]
+		return runTrace(cfg, j.model, j.scheme, cfg.ErrorThreshold, cfg.ApproxRatio, nil)
+	})
+	if err != nil {
+		return nil, err
+	}
 	var rows []Fig11Row
-	for _, model := range workload.Benchmarks() {
+	for i, j := range jobs {
+		// NormFlits temporarily holds the raw count; normalized below.
+		rows = append(rows, Fig11Row{
+			Benchmark: j.model.Name, Scheme: j.scheme,
+			NormFlits: float64(ms[i].Net.DataFlitsInjected),
+		})
+	}
+	for b := 0; b < len(models); b++ {
 		base := 0.0
-		for _, scheme := range schemesUnderTest() {
-			m, err := runTrace(cfg, model, scheme, cfg.ErrorThreshold, cfg.ApproxRatio, nil)
-			if err != nil {
-				return nil, err
+		for s := 0; s < len(schemes); s++ {
+			r := &rows[b*len(schemes)+s]
+			if schemes[s] == compress.Baseline {
+				base = r.NormFlits
 			}
-			flits := float64(m.Net.DataFlitsInjected)
-			if scheme == compress.Baseline {
-				base = flits
-			}
-			norm := 1.0
 			if base > 0 {
-				norm = flits / base
+				r.NormFlits = r.NormFlits / base
+			} else {
+				r.NormFlits = 1.0
 			}
-			rows = append(rows, Fig11Row{Benchmark: model.Name, Scheme: scheme, NormFlits: norm})
 		}
 	}
 	return rows, nil
@@ -164,7 +201,13 @@ func Fig12(cfg Config, benchmarks []string, rates []float64) ([]Fig12Point, erro
 	if len(rates) == 0 {
 		rates = []float64{0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7}
 	}
-	var pts []Fig12Point
+	type sweepJob struct {
+		model   workload.Model
+		pattern traffic.Pattern
+		scheme  compress.Scheme
+		rate    float64
+	}
+	var jobs []sweepJob
 	for _, bname := range benchmarks {
 		model, err := workload.ByName(bname)
 		if err != nil {
@@ -173,16 +216,15 @@ func Fig12(cfg Config, benchmarks []string, rates []float64) ([]Fig12Point, erro
 		for _, pattern := range []traffic.Pattern{traffic.UniformRandom, traffic.Transpose} {
 			for _, scheme := range schemesUnderTest() {
 				for _, rate := range rates {
-					p, err := fig12Point(cfg, model, pattern, scheme, rate)
-					if err != nil {
-						return nil, err
-					}
-					pts = append(pts, p)
+					jobs = append(jobs, sweepJob{model, pattern, scheme, rate})
 				}
 			}
 		}
 	}
-	return pts, nil
+	return mapJobs(cfg.Runner(), len(jobs), func(i int) (Fig12Point, error) {
+		j := jobs[i]
+		return fig12Point(cfg, j.model, j.pattern, j.scheme, j.rate)
+	})
 }
 
 func fig12Point(cfg Config, model workload.Model, pattern traffic.Pattern, scheme compress.Scheme, rate float64) (Fig12Point, error) {
@@ -241,17 +283,26 @@ type Fig15Row struct {
 	PowerMW   float64
 }
 
-// Fig15 measures dynamic power under the 45 nm energy model.
+// Fig15 measures dynamic power under the 45 nm energy model. Runs fan
+// out in parallel; the baseline normalization pass is serial over the
+// ordered results.
 func Fig15(cfg Config) ([]Fig15Row, error) {
+	models := workload.Benchmarks()
+	schemes := schemesUnderTest()
+	jobs := traceGrid(models, schemes)
+	ms, err := mapJobs(cfg.Runner(), len(jobs), func(i int) (RunMetrics, error) {
+		j := jobs[i]
+		return runTrace(cfg, j.model, j.scheme, cfg.ErrorThreshold, cfg.ApproxRatio, nil)
+	})
+	if err != nil {
+		return nil, err
+	}
 	var rows []Fig15Row
-	for _, model := range workload.Benchmarks() {
+	for b := 0; b < len(models); b++ {
 		base := 0.0
-		for _, scheme := range schemesUnderTest() {
-			m, err := runTrace(cfg, model, scheme, cfg.ErrorThreshold, cfg.ApproxRatio, nil)
-			if err != nil {
-				return nil, err
-			}
-			if scheme == compress.Baseline {
+		for s := 0; s < len(schemes); s++ {
+			m := ms[b*len(schemes)+s]
+			if schemes[s] == compress.Baseline {
 				base = m.DynPowerMW
 			}
 			norm := 1.0
@@ -259,7 +310,7 @@ func Fig15(cfg Config) ([]Fig15Row, error) {
 				norm = m.DynPowerMW / base
 			}
 			rows = append(rows, Fig15Row{
-				Benchmark: model.Name, Scheme: scheme,
+				Benchmark: models[b].Name, Scheme: schemes[s],
 				NormPower: norm, PowerMW: m.DynPowerMW,
 			})
 		}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"approxnoc/internal/apps"
+	"approxnoc/internal/cachesim"
 	"approxnoc/internal/compress"
 	"approxnoc/internal/fullsys"
 	"approxnoc/internal/power"
@@ -34,24 +35,27 @@ func Fig16(cfg Config, thresholds []int) ([]Fig16Row, error) {
 	// learning phase, making it the representative mechanism for the
 	// application-level study (it is also the paper's best performer).
 	scheme := compress.FPVaxx
-	var rows []Fig16Row
-	for _, app := range apps.All() {
+	allApps := apps.All()
+	// One job per benchmark row; the per-threshold runs inside a row share
+	// nothing with other rows, so rows fan out across the pool.
+	return mapJobs(cfg.Runner(), len(allApps), func(i int) (Fig16Row, error) {
+		app := allApps[i]
 		model, err := workload.ByName(app.Name())
 		if err != nil {
-			return nil, err
+			return Fig16Row{}, err
 		}
 		row := Fig16Row{Benchmark: app.Name(), ErrorAt: map[int]float64{}, PerfAt: map[int]float64{}}
 		var baseRuntime float64
 		for _, th := range thresholds {
 			res, err := app.Run(scheme, th)
 			if err != nil {
-				return nil, err
+				return Fig16Row{}, err
 			}
 			row.ErrorAt[th] = res.OutputError
 			// NoC latency for this benchmark's traffic at this budget.
 			m, err := runTrace(cfg, model, scheme, th, cfg.ApproxRatio, nil)
 			if err != nil {
-				return nil, err
+				return Fig16Row{}, err
 			}
 			rt := runtimeModel(res.CacheStats.Loads+res.CacheStats.Stores,
 				res.CacheStats.Misses, m.Net.AvgPacketLatency())
@@ -62,9 +66,8 @@ func Fig16(cfg Config, thresholds []int) ([]Fig16Row, error) {
 				row.PerfAt[th] = baseRuntime / rt
 			}
 		}
-		rows = append(rows, row)
-	}
-	return rows, nil
+		return row, nil
+	})
 }
 
 // runtimeModel is the full-system performance proxy: one cycle per access
@@ -81,38 +84,58 @@ func runtimeModel(accesses, misses uint64, avgPacketLat float64) float64 {
 // round trip through the cycle-accurate NoC, so normalized performance
 // comes from measured stall cycles instead of the analytic model.
 // Expensive kernels are excluded by default; pass names to override.
-func Fig16Measured(kernels []string, thresholds []int) ([]Fig16Row, error) {
+// Every kernel x threshold cell is an independent fullsys machine, so
+// the grid fans out through r's worker pool; rows are assembled serially
+// from the ordered cells.
+func Fig16Measured(r Runner, kernels []string, thresholds []int) ([]Fig16Row, error) {
 	if len(kernels) == 0 {
 		kernels = []string{"blackscholes", "x264", "ssca2"}
 	}
 	if len(thresholds) == 0 {
 		thresholds = []int{0, 10, 20}
 	}
-	var rows []Fig16Row
+	type cell struct {
+		out []float64
+		rt  float64
+	}
+	type fsJob struct {
+		kernel func(*cachesim.System) ([]float64, error)
+		th     int
+	}
+	var jobs []fsJob
 	for _, name := range kernels {
 		runner, err := apps.RunnerFor(name)
 		if err != nil {
 			return nil, err
 		}
+		for _, th := range thresholds {
+			jobs = append(jobs, fsJob{kernel: runner, th: th})
+		}
+	}
+	cells, err := mapJobs(r, len(jobs), func(i int) (cell, error) {
+		j := jobs[i]
+		out, rt, err := fullsys.MeasureKernel(fullsys.DefaultConfig(compress.FPVaxx, j.th), j.kernel)
+		if err != nil {
+			return cell{}, err
+		}
+		return cell{out: out, rt: rt}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var rows []Fig16Row
+	for k, name := range kernels {
 		row := Fig16Row{Benchmark: name, ErrorAt: map[int]float64{}, PerfAt: map[int]float64{}}
 		var ref []float64
 		var baseRuntime float64
 		for i, th := range thresholds {
-			sys, err := fullsys.New(fullsys.DefaultConfig(compress.FPVaxx, th))
-			if err != nil {
-				return nil, err
-			}
-			out, err := runner(sys.Cache())
-			if err != nil {
-				return nil, err
-			}
-			rt := sys.Runtime()
+			c := cells[k*len(thresholds)+i]
 			if i == 0 {
-				ref, baseRuntime = out, rt
+				ref, baseRuntime = c.out, c.rt
 			}
-			row.ErrorAt[th] = meanRel(ref, out)
-			if rt > 0 {
-				row.PerfAt[th] = baseRuntime / rt
+			row.ErrorAt[th] = meanRel(ref, c.out)
+			if c.rt > 0 {
+				row.PerfAt[th] = baseRuntime / c.rt
 			}
 		}
 		rows = append(rows, row)

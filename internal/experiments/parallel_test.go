@@ -1,0 +1,156 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+)
+
+func TestMapJobsEmpty(t *testing.T) {
+	out, err := mapJobs(Runner{Workers: 8}, 0, func(i int) (int, error) { return i, nil })
+	if out != nil || err != nil {
+		t.Fatalf("mapJobs(n=0) = (%v, %v), want (nil, nil)", out, err)
+	}
+}
+
+func TestMapJobsOrdering(t *testing.T) {
+	for _, workers := range []int{0, 1, 3, 8, 64} {
+		out, err := mapJobs(Runner{Workers: workers}, 37, func(i int) (int, error) {
+			runtime.Gosched() // shake up the schedule
+			return i * i, nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+// TestMapJobsLowestIndexError pins the error half of the determinism
+// contract: whatever the interleaving, the reported error is the one the
+// serial loop would have returned first.
+func TestMapJobsLowestIndexError(t *testing.T) {
+	for _, workers := range []int{1, 8} {
+		_, err := mapJobs(Runner{Workers: workers}, 16, func(i int) (int, error) {
+			if i >= 3 {
+				return 0, fmt.Errorf("job %d failed", i)
+			}
+			return i, nil
+		})
+		if err == nil || err.Error() != "job 3 failed" {
+			t.Fatalf("workers=%d: err = %v, want the lowest-index failure (job 3)", workers, err)
+		}
+	}
+}
+
+// TestDriversParallelEquivalence is the determinism gate for the whole
+// experiment harness: every driver must render byte-identical output at
+// Jobs=1 and Jobs=8. Short mode keeps a small subset so the race-detector
+// pass in scripts/check.sh still exercises the parallel pool.
+func TestDriversParallelEquivalence(t *testing.T) {
+	cfg := Default()
+	cfg.Cycles = 1200
+	one := []string{"ssca2"}
+
+	drivers := []struct {
+		name  string
+		short bool // runs in -short mode too
+		heavy bool // skipped in -short mode even from the full list
+		run   func(cfg Config) (string, error)
+	}{
+		{name: "fig9", run: func(cfg Config) (string, error) {
+			rows, err := Fig9(cfg)
+			return FormatFig9(rows), err
+		}},
+		{name: "fig10", short: true, run: func(cfg Config) (string, error) {
+			rows, err := Fig10(cfg)
+			return FormatFig10(rows), err
+		}},
+		{name: "fig11", run: func(cfg Config) (string, error) {
+			rows, err := Fig11(cfg)
+			return FormatFig11(rows), err
+		}},
+		{name: "fig12", run: func(cfg Config) (string, error) {
+			pts, err := Fig12(cfg, []string{"blackscholes"}, []float64{0.1, 0.3})
+			return FormatFig12(pts), err
+		}},
+		{name: "fig13", run: func(cfg Config) (string, error) {
+			rows, err := Fig13(cfg, []int{10})
+			return FormatFig13(rows, []int{10}), err
+		}},
+		{name: "fig14", run: func(cfg Config) (string, error) {
+			rows, err := Fig14(cfg, []int{75})
+			return FormatFig14(rows, []int{75}), err
+		}},
+		{name: "fig15", run: func(cfg Config) (string, error) {
+			rows, err := Fig15(cfg)
+			return FormatFig15(rows), err
+		}},
+		{name: "fig16", run: func(cfg Config) (string, error) {
+			rows, err := Fig16(cfg, []int{0, 10})
+			return FormatFig16(rows, []int{0, 10}), err
+		}},
+		{name: "fig16-measured", heavy: true, run: func(cfg Config) (string, error) {
+			rows, err := Fig16Measured(cfg.Runner(), []string{"blackscholes"}, []int{0, 10})
+			return FormatFig16Titled("measured", rows, []int{0, 10}), err
+		}},
+		{name: "ablation-overlap", short: true, run: func(cfg Config) (string, error) {
+			rows, err := AblationOverlap(cfg, one)
+			return FormatAblationOverlap(rows), err
+		}},
+		{name: "ablation-pmt", run: func(cfg Config) (string, error) {
+			rows, err := AblationPMT(cfg, one, []int{8, 32})
+			return FormatAblationPMT(rows), err
+		}},
+		{name: "ablation-window", run: func(cfg Config) (string, error) {
+			rows, err := AblationWindow(cfg, one)
+			return FormatAblationWindow(rows), err
+		}},
+		{name: "ablation-router", run: func(cfg Config) (string, error) {
+			rows, err := AblationRouter(cfg, one)
+			return FormatAblationRouter(rows), err
+		}},
+		{name: "ablation-matchunits", run: func(cfg Config) (string, error) {
+			rows, err := AblationMatchUnits(cfg, one, []int{4, 8})
+			return FormatAblationMatchUnits(rows), err
+		}},
+		{name: "ablation-adaptive", run: func(cfg Config) (string, error) {
+			rows, err := AblationAdaptive(cfg, one)
+			return FormatAblationAdaptive(rows), err
+		}},
+		{name: "extension-bdi", run: func(cfg Config) (string, error) {
+			rows, err := ExtensionBDI(cfg, one)
+			return FormatExtensionBDI(rows), err
+		}},
+	}
+	for _, d := range drivers {
+		d := d
+		t.Run(d.name, func(t *testing.T) {
+			if testing.Short() && (!d.short || d.heavy) {
+				t.Skip("full driver sweep skipped in short mode")
+			}
+			serialCfg := cfg
+			serialCfg.Jobs = 1
+			parallelCfg := cfg
+			parallelCfg.Jobs = 8
+			serial, err := d.run(serialCfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			parallel, err := d.run(parallelCfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if serial != parallel {
+				t.Fatalf("output diverges between -jobs 1 and -jobs 8:\n--- serial ---\n%s\n--- parallel ---\n%s", serial, parallel)
+			}
+			if serial == "" {
+				t.Fatal("driver rendered empty output")
+			}
+		})
+	}
+}

@@ -174,7 +174,7 @@ func TestFig16MeasuredDriver(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full-system coupling in short mode")
 	}
-	rows, err := Fig16Measured([]string{"blackscholes"}, []int{0, 10})
+	rows, err := Fig16Measured(Runner{Workers: 1}, []string{"blackscholes"}, []int{0, 10})
 	if err != nil {
 		t.Fatal(err)
 	}

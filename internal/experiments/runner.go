@@ -29,6 +29,11 @@ type Config struct {
 	ApproxRatio float64
 	// Seed drives all randomness.
 	Seed uint64
+	// Jobs is the worker-pool width for fanning independent runs across
+	// CPUs (0 = GOMAXPROCS). Results are independent of the value: every
+	// run owns its Network and derives its seeds from this Config alone,
+	// and rows are collected in job order.
+	Jobs int
 	// NoDrain skips the post-injection drain: latency is then measured
 	// over delivered packets only, the steady-state methodology the
 	// Fig. 12 load sweeps use (saturated points are flagged, not drained).

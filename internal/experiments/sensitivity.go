@@ -23,28 +23,37 @@ func Fig13(cfg Config, thresholds []int) ([]Fig13Row, error) {
 	if len(thresholds) == 0 {
 		thresholds = []int{5, 10, 20}
 	}
-	var rows []Fig13Row
+	type famJob struct {
+		model workload.Model
+		fam   vaxxFamily
+	}
+	var jobs []famJob
 	for _, model := range workload.Benchmarks() {
 		for _, fam := range families() {
-			row := Fig13Row{Benchmark: model.Name, Family: fam.name,
-				ThresholdLat: map[int]float64{}, ThresholdQuality: map[int]float64{}}
-			m, err := runTrace(cfg, model, fam.exact, 0, cfg.ApproxRatio, nil)
-			if err != nil {
-				return nil, err
-			}
-			row.ExactLat = m.Net.AvgPacketLatency()
-			for _, th := range thresholds {
-				m, err := runTrace(cfg, model, fam.vaxx, th, cfg.ApproxRatio, nil)
-				if err != nil {
-					return nil, err
-				}
-				row.ThresholdLat[th] = m.Net.AvgPacketLatency()
-				row.ThresholdQuality[th] = m.Codec.DataQuality()
-			}
-			rows = append(rows, row)
+			jobs = append(jobs, famJob{model: model, fam: fam})
 		}
 	}
-	return rows, nil
+	// One row group (exact run + all threshold runs) per job: the rows are
+	// independent of each other, so they fan out across the pool.
+	return mapJobs(cfg.Runner(), len(jobs), func(i int) (Fig13Row, error) {
+		j := jobs[i]
+		row := Fig13Row{Benchmark: j.model.Name, Family: j.fam.name,
+			ThresholdLat: map[int]float64{}, ThresholdQuality: map[int]float64{}}
+		m, err := runTrace(cfg, j.model, j.fam.exact, 0, cfg.ApproxRatio, nil)
+		if err != nil {
+			return Fig13Row{}, err
+		}
+		row.ExactLat = m.Net.AvgPacketLatency()
+		for _, th := range thresholds {
+			m, err := runTrace(cfg, j.model, j.fam.vaxx, th, cfg.ApproxRatio, nil)
+			if err != nil {
+				return Fig13Row{}, err
+			}
+			row.ThresholdLat[th] = m.Net.AvgPacketLatency()
+			row.ThresholdQuality[th] = m.Codec.DataQuality()
+		}
+		return row, nil
+	})
 }
 
 // Fig14Row is one bar group of Fig. 14: packet latency at each
@@ -61,26 +70,33 @@ func Fig14(cfg Config, ratios []int) ([]Fig14Row, error) {
 	if len(ratios) == 0 {
 		ratios = []int{25, 50, 75}
 	}
-	var rows []Fig14Row
+	type famJob struct {
+		model workload.Model
+		fam   vaxxFamily
+	}
+	var jobs []famJob
 	for _, model := range workload.Benchmarks() {
 		for _, fam := range families() {
-			row := Fig14Row{Benchmark: model.Name, Family: fam.name, RatioLat: map[int]float64{}}
-			m, err := runTrace(cfg, model, fam.exact, 0, cfg.ApproxRatio, nil)
-			if err != nil {
-				return nil, err
-			}
-			row.ExactLat = m.Net.AvgPacketLatency()
-			for _, ratio := range ratios {
-				m, err := runTrace(cfg, model, fam.vaxx, cfg.ErrorThreshold, float64(ratio)/100, nil)
-				if err != nil {
-					return nil, err
-				}
-				row.RatioLat[ratio] = m.Net.AvgPacketLatency()
-			}
-			rows = append(rows, row)
+			jobs = append(jobs, famJob{model: model, fam: fam})
 		}
 	}
-	return rows, nil
+	return mapJobs(cfg.Runner(), len(jobs), func(i int) (Fig14Row, error) {
+		j := jobs[i]
+		row := Fig14Row{Benchmark: j.model.Name, Family: j.fam.name, RatioLat: map[int]float64{}}
+		m, err := runTrace(cfg, j.model, j.fam.exact, 0, cfg.ApproxRatio, nil)
+		if err != nil {
+			return Fig14Row{}, err
+		}
+		row.ExactLat = m.Net.AvgPacketLatency()
+		for _, ratio := range ratios {
+			m, err := runTrace(cfg, j.model, j.fam.vaxx, cfg.ErrorThreshold, float64(ratio)/100, nil)
+			if err != nil {
+				return Fig14Row{}, err
+			}
+			row.RatioLat[ratio] = m.Net.AvgPacketLatency()
+		}
+		return row, nil
+	})
 }
 
 // AblationOverlapRow compares the §4.3 latency-hiding optimizations.
@@ -97,35 +113,42 @@ func AblationOverlap(cfg Config, benchmarks []string) ([]AblationOverlapRow, err
 	if len(benchmarks) == 0 {
 		benchmarks = []string{"blackscholes", "ssca2"}
 	}
-	var rows []AblationOverlapRow
+	type abJob struct {
+		model  workload.Model
+		scheme compress.Scheme
+	}
+	var jobs []abJob
 	for _, name := range benchmarks {
 		model, err := workload.ByName(name)
 		if err != nil {
 			return nil, err
 		}
 		for _, scheme := range []compress.Scheme{compress.DIVaxx, compress.FPVaxx} {
-			on := cfg
-			on.NoC.OverlapVCArb = true
-			on.NoC.OverlapQueueing = true
-			mOn, err := runTrace(on, model, scheme, cfg.ErrorThreshold, cfg.ApproxRatio, nil)
-			if err != nil {
-				return nil, err
-			}
-			off := cfg
-			off.NoC.OverlapVCArb = false
-			off.NoC.OverlapQueueing = false
-			mOff, err := runTrace(off, model, scheme, cfg.ErrorThreshold, cfg.ApproxRatio, nil)
-			if err != nil {
-				return nil, err
-			}
-			rows = append(rows, AblationOverlapRow{
-				Benchmark: name, Scheme: scheme,
-				LatencyOn:  mOn.Net.AvgPacketLatency(),
-				LatencyOff: mOff.Net.AvgPacketLatency(),
-			})
+			jobs = append(jobs, abJob{model: model, scheme: scheme})
 		}
 	}
-	return rows, nil
+	return mapJobs(cfg.Runner(), len(jobs), func(i int) (AblationOverlapRow, error) {
+		j := jobs[i]
+		on := cfg
+		on.NoC.OverlapVCArb = true
+		on.NoC.OverlapQueueing = true
+		mOn, err := runTrace(on, j.model, j.scheme, cfg.ErrorThreshold, cfg.ApproxRatio, nil)
+		if err != nil {
+			return AblationOverlapRow{}, err
+		}
+		off := cfg
+		off.NoC.OverlapVCArb = false
+		off.NoC.OverlapQueueing = false
+		mOff, err := runTrace(off, j.model, j.scheme, cfg.ErrorThreshold, cfg.ApproxRatio, nil)
+		if err != nil {
+			return AblationOverlapRow{}, err
+		}
+		return AblationOverlapRow{
+			Benchmark: j.model.Name, Scheme: j.scheme,
+			LatencyOn:  mOn.Net.AvgPacketLatency(),
+			LatencyOff: mOff.Net.AvgPacketLatency(),
+		}, nil
+	})
 }
 
 // AblationWindowRow compares the shipped per-word error budget against
@@ -146,43 +169,50 @@ func AblationWindow(cfg Config, benchmarks []string) ([]AblationWindowRow, error
 	if len(benchmarks) == 0 {
 		benchmarks = []string{"blackscholes", "x264", "ssca2"}
 	}
-	var rows []AblationWindowRow
+	modes := []struct {
+		mode    string
+		factory func(int) compress.Codec
+	}{
+		{"per-word", func(int) compress.Codec {
+			c, _ := compress.NewFPVaxx(cfg.ErrorThreshold)
+			return c
+		}},
+		{"windowed", func(int) compress.Codec {
+			c, _ := compress.NewFPVaxxWindowed(cfg.ErrorThreshold, 16, 4)
+			return c
+		}},
+	}
+	type winJob struct {
+		model workload.Model
+		mode  string
+		fac   func(int) compress.Codec
+	}
+	var jobs []winJob
 	for _, name := range benchmarks {
 		model, err := workload.ByName(name)
 		if err != nil {
 			return nil, err
 		}
-		modes := []struct {
-			mode    string
-			factory func(int) compress.Codec
-		}{
-			{"per-word", func(int) compress.Codec {
-				c, _ := compress.NewFPVaxx(cfg.ErrorThreshold)
-				return c
-			}},
-			{"windowed", func(int) compress.Codec {
-				c, _ := compress.NewFPVaxxWindowed(cfg.ErrorThreshold, 16, 4)
-				return c
-			}},
-		}
 		for _, m := range modes {
-			tcfg, src := traceConfig(cfg, model, compress.FPVaxx, cfg.ApproxRatio)
-			_ = src
-			r, err := runTraceFactory(cfg, model, compress.FPVaxx, tcfg, m.factory)
-			if err != nil {
-				return nil, err
-			}
-			rows = append(rows, AblationWindowRow{
-				Benchmark:  name,
-				Mode:       m.mode,
-				ApproxFrac: r.Codec.ApproxWordFraction(),
-				Ratio:      r.Codec.CompressionRatio(),
-				Quality:    r.Codec.DataQuality(),
-				Latency:    r.Net.AvgPacketLatency(),
-			})
+			jobs = append(jobs, winJob{model: model, mode: m.mode, fac: m.factory})
 		}
 	}
-	return rows, nil
+	return mapJobs(cfg.Runner(), len(jobs), func(i int) (AblationWindowRow, error) {
+		j := jobs[i]
+		tcfg, _ := traceConfig(cfg, j.model, compress.FPVaxx, cfg.ApproxRatio)
+		r, err := runTraceFactory(cfg, j.model, compress.FPVaxx, tcfg, j.fac)
+		if err != nil {
+			return AblationWindowRow{}, err
+		}
+		return AblationWindowRow{
+			Benchmark:  j.model.Name,
+			Mode:       j.mode,
+			ApproxFrac: r.Codec.ApproxWordFraction(),
+			Ratio:      r.Codec.CompressionRatio(),
+			Quality:    r.Codec.DataQuality(),
+			Latency:    r.Net.AvgPacketLatency(),
+		}, nil
+	})
 }
 
 // AblationRouterRow reports latency across router buffer provisioning.
@@ -204,7 +234,12 @@ func AblationRouter(cfg Config, benchmarks []string) ([]AblationRouterRow, error
 	points := []struct{ vcs, depth int }{
 		{2, 2}, {2, 4}, {4, 2}, {4, 4}, {4, 8}, {8, 4},
 	}
-	var rows []AblationRouterRow
+	type rtJob struct {
+		model      workload.Model
+		scheme     compress.Scheme
+		vcs, depth int
+	}
+	var jobs []rtJob
 	for _, name := range benchmarks {
 		model, err := workload.ByName(name)
 		if err != nil {
@@ -212,22 +247,25 @@ func AblationRouter(cfg Config, benchmarks []string) ([]AblationRouterRow, error
 		}
 		for _, scheme := range []compress.Scheme{compress.Baseline, compress.FPVaxx} {
 			for _, pt := range points {
-				c := cfg
-				c.NoC.VCs = pt.vcs
-				c.NoC.BufDepth = pt.depth
-				m, err := runTrace(c, model, scheme, cfg.ErrorThreshold, cfg.ApproxRatio, nil)
-				if err != nil {
-					return nil, err
-				}
-				rows = append(rows, AblationRouterRow{
-					Benchmark: name, Scheme: scheme,
-					VCs: pt.vcs, BufDepth: pt.depth,
-					Latency: m.Net.AvgPacketLatency(),
-				})
+				jobs = append(jobs, rtJob{model: model, scheme: scheme, vcs: pt.vcs, depth: pt.depth})
 			}
 		}
 	}
-	return rows, nil
+	return mapJobs(cfg.Runner(), len(jobs), func(i int) (AblationRouterRow, error) {
+		j := jobs[i]
+		c := cfg
+		c.NoC.VCs = j.vcs
+		c.NoC.BufDepth = j.depth
+		m, err := runTrace(c, j.model, j.scheme, cfg.ErrorThreshold, cfg.ApproxRatio, nil)
+		if err != nil {
+			return AblationRouterRow{}, err
+		}
+		return AblationRouterRow{
+			Benchmark: j.model.Name, Scheme: j.scheme,
+			VCs: j.vcs, BufDepth: j.depth,
+			Latency: m.Net.AvgPacketLatency(),
+		}, nil
+	})
 }
 
 // AblationMatchUnitsRow reports latency as the number of parallel
@@ -248,7 +286,12 @@ func AblationMatchUnits(cfg Config, benchmarks []string, units []int) ([]Ablatio
 	if len(units) == 0 {
 		units = []int{1, 2, 4, 8, 16}
 	}
-	var rows []AblationMatchUnitsRow
+	type muJob struct {
+		model  workload.Model
+		scheme compress.Scheme
+		units  int
+	}
+	var jobs []muJob
 	for _, name := range benchmarks {
 		model, err := workload.ByName(name)
 		if err != nil {
@@ -256,21 +299,24 @@ func AblationMatchUnits(cfg Config, benchmarks []string, units []int) ([]Ablatio
 		}
 		for _, scheme := range []compress.Scheme{compress.DIVaxx, compress.FPVaxx} {
 			for _, u := range units {
-				c := cfg
-				c.NoC.MatchUnits = u
-				c.NoC.OverlapQueueing = false
-				m, err := runTrace(c, model, scheme, cfg.ErrorThreshold, cfg.ApproxRatio, nil)
-				if err != nil {
-					return nil, err
-				}
-				rows = append(rows, AblationMatchUnitsRow{
-					Benchmark: name, Scheme: scheme, Units: u,
-					Latency: m.Net.AvgPacketLatency(),
-				})
+				jobs = append(jobs, muJob{model: model, scheme: scheme, units: u})
 			}
 		}
 	}
-	return rows, nil
+	return mapJobs(cfg.Runner(), len(jobs), func(i int) (AblationMatchUnitsRow, error) {
+		j := jobs[i]
+		c := cfg
+		c.NoC.MatchUnits = j.units
+		c.NoC.OverlapQueueing = false
+		m, err := runTrace(c, j.model, j.scheme, cfg.ErrorThreshold, cfg.ApproxRatio, nil)
+		if err != nil {
+			return AblationMatchUnitsRow{}, err
+		}
+		return AblationMatchUnitsRow{
+			Benchmark: j.model.Name, Scheme: j.scheme, Units: j.units,
+			Latency: m.Net.AvgPacketLatency(),
+		}, nil
+	})
 }
 
 // ExtensionBDIRow compares the paper's schemes against the base-delta
@@ -291,26 +337,29 @@ func ExtensionBDI(cfg Config, benchmarks []string) ([]ExtensionBDIRow, error) {
 	if len(benchmarks) == 0 {
 		benchmarks = []string{"canneal", "ssca2"}
 	}
-	var rows []ExtensionBDIRow
+	var jobs []traceJob
 	for _, name := range benchmarks {
 		model, err := workload.ByName(name)
 		if err != nil {
 			return nil, err
 		}
 		for _, scheme := range compress.ExtendedSchemes() {
-			m, err := runTrace(cfg, model, scheme, cfg.ErrorThreshold, cfg.ApproxRatio, nil)
-			if err != nil {
-				return nil, err
-			}
-			rows = append(rows, ExtensionBDIRow{
-				Benchmark: name, Scheme: scheme,
-				Latency: m.Net.AvgPacketLatency(),
-				Ratio:   m.Codec.CompressionRatio(),
-				Quality: m.Codec.DataQuality(),
-			})
+			jobs = append(jobs, traceJob{model: model, scheme: scheme})
 		}
 	}
-	return rows, nil
+	return mapJobs(cfg.Runner(), len(jobs), func(i int) (ExtensionBDIRow, error) {
+		j := jobs[i]
+		m, err := runTrace(cfg, j.model, j.scheme, cfg.ErrorThreshold, cfg.ApproxRatio, nil)
+		if err != nil {
+			return ExtensionBDIRow{}, err
+		}
+		return ExtensionBDIRow{
+			Benchmark: j.model.Name, Scheme: j.scheme,
+			Latency: m.Net.AvgPacketLatency(),
+			Ratio:   m.Codec.CompressionRatio(),
+			Quality: m.Codec.DataQuality(),
+		}, nil
+	})
 }
 
 // AblationAdaptiveRow compares a scheme with and without the Jin et al.
@@ -329,42 +378,45 @@ func AblationAdaptive(cfg Config, benchmarks []string) ([]AblationAdaptiveRow, e
 	if len(benchmarks) == 0 {
 		benchmarks = []string{"streamcluster", "ssca2"}
 	}
-	var rows []AblationAdaptiveRow
+	var jobs []traceJob
 	for _, name := range benchmarks {
 		model, err := workload.ByName(name)
 		if err != nil {
 			return nil, err
 		}
 		for _, scheme := range []compress.Scheme{compress.DIVaxx, compress.FPVaxx} {
-			plain, err := runTrace(cfg, model, scheme, cfg.ErrorThreshold, cfg.ApproxRatio, nil)
-			if err != nil {
-				return nil, err
-			}
-			tcfg, _ := traceConfig(cfg, model, scheme, cfg.ApproxRatio)
-			inner, err := compress.FactoryFor(scheme, cfg.Width*cfg.Height*cfg.Concentration, cfg.ErrorThreshold)
-			if err != nil {
-				return nil, err
-			}
-			factory := func(node int) compress.Codec {
-				a, err := compress.NewAdaptive(inner(node), compress.DefaultAdaptiveConfig())
-				if err != nil {
-					panic(err)
-				}
-				return a
-			}
-			adaptive, err := runTraceFactory(cfg, model, scheme, tcfg, factory)
-			if err != nil {
-				return nil, err
-			}
-			rows = append(rows, AblationAdaptiveRow{
-				Benchmark:       name,
-				Scheme:          scheme,
-				LatencyPlain:    plain.Net.AvgPacketLatency(),
-				LatencyAdaptive: adaptive.Net.AvgPacketLatency(),
-			})
+			jobs = append(jobs, traceJob{model: model, scheme: scheme})
 		}
 	}
-	return rows, nil
+	return mapJobs(cfg.Runner(), len(jobs), func(i int) (AblationAdaptiveRow, error) {
+		j := jobs[i]
+		plain, err := runTrace(cfg, j.model, j.scheme, cfg.ErrorThreshold, cfg.ApproxRatio, nil)
+		if err != nil {
+			return AblationAdaptiveRow{}, err
+		}
+		tcfg, _ := traceConfig(cfg, j.model, j.scheme, cfg.ApproxRatio)
+		inner, err := compress.FactoryFor(j.scheme, cfg.Width*cfg.Height*cfg.Concentration, cfg.ErrorThreshold)
+		if err != nil {
+			return AblationAdaptiveRow{}, err
+		}
+		factory := func(node int) compress.Codec {
+			a, err := compress.NewAdaptive(inner(node), compress.DefaultAdaptiveConfig())
+			if err != nil {
+				panic(err)
+			}
+			return a
+		}
+		adaptive, err := runTraceFactory(cfg, j.model, j.scheme, tcfg, factory)
+		if err != nil {
+			return AblationAdaptiveRow{}, err
+		}
+		return AblationAdaptiveRow{
+			Benchmark:       j.model.Name,
+			Scheme:          j.scheme,
+			LatencyPlain:    plain.Net.AvgPacketLatency(),
+			LatencyAdaptive: adaptive.Net.AvgPacketLatency(),
+		}, nil
+	})
 }
 
 // AblationPMTRow reports DI-VAXX behaviour across PMT sizes.
@@ -384,25 +436,32 @@ func AblationPMT(cfg Config, benchmarks []string, sizes []int) ([]AblationPMTRow
 	if len(sizes) == 0 {
 		sizes = []int{4, 8, 16, 32}
 	}
-	var rows []AblationPMTRow
+	type pmtJob struct {
+		model workload.Model
+		size  int
+	}
+	var jobs []pmtJob
 	for _, name := range benchmarks {
 		model, err := workload.ByName(name)
 		if err != nil {
 			return nil, err
 		}
 		for _, size := range sizes {
-			dict := compress.DefaultDictConfig(1) // Nodes fixed up by runner
-			dict.Entries = size
-			m, err := runTrace(cfg, model, compress.DIVaxx, cfg.ErrorThreshold, cfg.ApproxRatio, &dict)
-			if err != nil {
-				return nil, err
-			}
-			rows = append(rows, AblationPMTRow{
-				Benchmark: name, Entries: size,
-				Latency: m.Net.AvgPacketLatency(),
-				Ratio:   m.Codec.CompressionRatio(),
-			})
+			jobs = append(jobs, pmtJob{model: model, size: size})
 		}
 	}
-	return rows, nil
+	return mapJobs(cfg.Runner(), len(jobs), func(i int) (AblationPMTRow, error) {
+		j := jobs[i]
+		dict := compress.DefaultDictConfig(1) // Nodes fixed up by runner
+		dict.Entries = j.size
+		m, err := runTrace(cfg, j.model, compress.DIVaxx, cfg.ErrorThreshold, cfg.ApproxRatio, &dict)
+		if err != nil {
+			return AblationPMTRow{}, err
+		}
+		return AblationPMTRow{
+			Benchmark: j.model.Name, Entries: j.size,
+			Latency: m.Net.AvgPacketLatency(),
+			Ratio:   m.Codec.CompressionRatio(),
+		}, nil
+	})
 }

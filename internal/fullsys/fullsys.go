@@ -177,6 +177,24 @@ func (s *System) waitFor(id uint64) {
 	panic("fullsys: packet never delivered — network wedged")
 }
 
+// MeasureKernel builds a fresh System for cfg, runs the kernel against
+// its cache, and returns the kernel's outputs plus the measured runtime.
+// Every call owns its whole machine (network, caches, codecs), so
+// independent measurements can run concurrently — the experiment
+// harness fans Fig. 16 kernel x threshold cells through its worker pool
+// with one MeasureKernel call per cell.
+func MeasureKernel(cfg Config, kernel func(*cachesim.System) ([]float64, error)) (out []float64, runtime float64, err error) {
+	sys, err := New(cfg)
+	if err != nil {
+		return nil, 0, err
+	}
+	out, err = kernel(sys.Cache())
+	if err != nil {
+		return nil, 0, err
+	}
+	return out, sys.Runtime(), nil
+}
+
 // Runtime returns the measured runtime proxy in cycles: one cycle per
 // cache access plus the measured network stall cycles.
 func (s *System) Runtime() float64 {

@@ -53,6 +53,20 @@ type Network struct {
 	creditStage   []stagedCredit
 	niCreditStage []stagedNICredit
 
+	// Stage-slice peak lengths since the last shrink check. The slices
+	// are truncated every cycle but keep their capacity; after a burst
+	// drains we periodically shrink them back so long saturation sweeps
+	// don't pin peak memory.
+	flitPeak     int
+	creditPeak   int
+	niCreditPeak int
+	nextShrink   sim.Cycle
+
+	// flitPool recycles Flit structs between ejection and the next
+	// injection, keeping steady-state Step allocation-free. Per-network,
+	// so it needs no locking and stays deterministic.
+	flitPool []*Flit
+
 	seq          map[uint64]uint64
 	nextPacketID uint64
 	inFlight     int
@@ -168,42 +182,95 @@ func (n *Network) checkPair(src, dst int) error {
 	return nil
 }
 
+// Stage-slice capacity management: slices are truncated in place every
+// cycle; every stageShrinkInterval cycles any slice whose capacity is
+// more than 4x the interval's peak occupancy is reallocated down.
+const (
+	stageShrinkInterval = 4096
+	stageMinCap         = 64
+)
+
+func shrinkStaged[T any](s []T, peak int) []T {
+	if cap(s) <= stageMinCap || peak*4 >= cap(s) {
+		return s
+	}
+	newCap := peak * 2
+	if newCap < stageMinCap {
+		newCap = stageMinCap
+	}
+	return make([]T, 0, newCap)
+}
+
 // Step advances the simulation one cycle.
+//
+// Routers and NIs are gated on their active-set counters: a stage is only
+// entered when it has work (buffered flits, VCs awaiting allocation,
+// queued packets, pending decodes). The gates skip provable no-ops, so
+// results are bit-identical to an exhaustive sweep, but near-idle cycles
+// — the common case in low-injection sweeps — cost O(active tiles)
+// instead of O(all tiles).
 func (n *Network) Step() {
 	now := n.clock.Now()
 
 	// Arrivals staged last cycle land first (link/credit delay = 1).
+	if len(n.flitStage) > n.flitPeak {
+		n.flitPeak = len(n.flitStage)
+	}
 	for _, s := range n.flitStage {
 		n.routers[s.router].acceptFlit(s.port, s.vc, s.flit)
 	}
 	n.flitStage = n.flitStage[:0]
+	if len(n.creditStage) > n.creditPeak {
+		n.creditPeak = len(n.creditStage)
+	}
 	for _, c := range n.creditStage {
 		n.routers[c.router].out[c.port][c.vc].credits++
 	}
 	n.creditStage = n.creditStage[:0]
+	if len(n.niCreditStage) > n.niCreditPeak {
+		n.niCreditPeak = len(n.niCreditStage)
+	}
 	for _, c := range n.niCreditStage {
 		n.nis[c.tile].credits[c.vc]++
 	}
 	n.niCreditStage = n.niCreditStage[:0]
+	if now >= n.nextShrink {
+		n.flitStage = shrinkStaged(n.flitStage, n.flitPeak)
+		n.creditStage = shrinkStaged(n.creditStage, n.creditPeak)
+		n.niCreditStage = shrinkStaged(n.niCreditStage, n.niCreditPeak)
+		n.flitPeak, n.creditPeak, n.niCreditPeak = 0, 0, 0
+		n.nextShrink = now + stageShrinkInterval
+	}
 
 	// Router pipeline, processed back to front so a flit moves through one
-	// stage per cycle.
+	// stage per cycle. A router with no buffered flits has nothing to
+	// switch or route, and routing > 0 requires a buffered head flit.
 	for _, r := range n.routers {
-		r.stageSA()
+		if r.flits > 0 {
+			r.stageSA()
+		}
 	}
 	for _, r := range n.routers {
-		r.stageVA()
+		if r.routing > 0 {
+			r.stageVA()
+		}
 	}
 	for _, r := range n.routers {
-		r.stageRC()
+		if r.flits > 0 {
+			r.stageRC()
+		}
 	}
 
 	// NIs inject and complete decodes.
 	for _, ni := range n.nis {
-		ni.inject(now)
+		if ni.cur != nil || len(ni.queue) > ni.qhead {
+			ni.inject(now)
+		}
 	}
 	for _, ni := range n.nis {
-		ni.processDeliveries(now)
+		if ni.pendingDeliveries > 0 {
+			ni.processDeliveries(now)
+		}
 	}
 
 	n.clock.Tick()
@@ -302,4 +369,22 @@ func (n *Network) stageCredit(router int, port topology.Direction, vc int) {
 // stageNICredit schedules a credit return to an NI next cycle.
 func (n *Network) stageNICredit(tile, vc int) {
 	n.niCreditStage = append(n.niCreditStage, stagedNICredit{tile: tile, vc: vc})
+}
+
+// allocFlit takes a flit from the recycle pool, or allocates one.
+func (n *Network) allocFlit() *Flit {
+	if len(n.flitPool) == 0 {
+		return &Flit{}
+	}
+	f := n.flitPool[len(n.flitPool)-1]
+	n.flitPool = n.flitPool[:len(n.flitPool)-1]
+	return f
+}
+
+// freeFlit returns an ejected flit to the pool. Callers must guarantee no
+// live reference remains — the router calls it right after the NI sinks
+// the flit, and receiveFlit keeps only the Packet.
+func (n *Network) freeFlit(f *Flit) {
+	f.Packet = nil
+	n.flitPool = append(n.flitPool, f)
 }

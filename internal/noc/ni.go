@@ -22,10 +22,13 @@ type NI struct {
 	tile  int
 	codec compress.Codec
 
-	// Injection side.
+	// Injection side. The queue is consumed through qhead instead of
+	// re-slicing so the backing array is reused; it is compacted when the
+	// dead prefix dominates.
 	queue   []*Packet
+	qhead   int
 	cur     *Packet
-	curFl   []*Flit
+	curFl   []*Flit // reused flit scratch for the streaming packet
 	curIdx  int
 	curVC   int
 	credits []int
@@ -35,6 +38,9 @@ type NI struct {
 	expected map[int]uint64             // per source: next sequence number
 	reorder  map[int]map[uint64]*Packet // ejected ahead of sequence
 	deliverQ [][]delivery               // per source in-order decode FIFO
+	// pendingDeliveries counts entries across deliverQ so Step can skip
+	// the per-source scan on NIs with nothing to decode.
+	pendingDeliveries int
 }
 
 func newNI(net *Network, tile int, codec compress.Codec) *NI {
@@ -60,11 +66,49 @@ func (ni *NI) Codec() compress.Codec { return ni.codec }
 // QueueLen returns the injection queue occupancy (including the packet
 // currently streaming flits).
 func (ni *NI) QueueLen() int {
-	n := len(ni.queue)
+	n := len(ni.queue) - ni.qhead
 	if ni.cur != nil {
 		n++
 	}
 	return n
+}
+
+// popQueue removes and returns the queue head, compacting the backing
+// array once the consumed prefix dominates it.
+func (ni *NI) popQueue() *Packet {
+	p := ni.queue[ni.qhead]
+	ni.queue[ni.qhead] = nil
+	ni.qhead++
+	switch {
+	case ni.qhead == len(ni.queue):
+		ni.queue = ni.queue[:0]
+		ni.qhead = 0
+	case ni.qhead >= 32 && ni.qhead*2 >= len(ni.queue):
+		n := copy(ni.queue, ni.queue[ni.qhead:])
+		ni.queue = ni.queue[:n]
+		ni.qhead = 0
+	}
+	return p
+}
+
+// buildFlits fragments the packet into the NI's reusable flit scratch,
+// drawing Flit structs from the network's recycle pool.
+func (ni *NI) buildFlits(p *Packet) {
+	ni.curFl = ni.curFl[:0]
+	for i := 0; i < p.Flits; i++ {
+		t := BodyFlit
+		switch {
+		case p.Flits == 1:
+			t = HeadTailFlit
+		case i == 0:
+			t = HeadFlit
+		case i == p.Flits-1:
+			t = TailFlit
+		}
+		f := ni.net.allocFlit()
+		f.Type, f.Seq, f.Packet = t, i, p
+		ni.curFl = append(ni.curFl, f)
+	}
 }
 
 // enqueueData packetizes and compresses a cache block bound for dst.
@@ -125,10 +169,10 @@ func (ni *NI) enqueueNotif(n compress.Notification, now sim.Cycle) *Packet {
 // port, subject to credits.
 func (ni *NI) inject(now sim.Cycle) {
 	if ni.cur == nil {
-		if len(ni.queue) == 0 {
+		if len(ni.queue) == ni.qhead {
 			return
 		}
-		head := ni.queue[0]
+		head := ni.queue[ni.qhead]
 		if head.ReadyAt == 0 && head.Kind == DataPacket && head.Enc.Scheme != compress.Baseline {
 			// OverlapQueueing off: compression starts at the queue head.
 			head.ReadyAt = now + sim.Cycle(ni.net.cfg.effectiveCompressLatencyFor(head.Enc.NumWords))
@@ -136,9 +180,9 @@ func (ni *NI) inject(now sim.Cycle) {
 		if head.ReadyAt > now {
 			return
 		}
-		ni.queue = ni.queue[1:]
+		ni.popQueue()
 		ni.cur = head
-		ni.curFl = flitsOf(head)
+		ni.buildFlits(head)
 		ni.curIdx = 0
 		ni.curVC = -1
 	}
@@ -175,7 +219,10 @@ func (ni *NI) inject(now sim.Cycle) {
 	}
 	ni.curIdx++
 	if ni.curIdx == len(ni.curFl) {
-		ni.cur, ni.curFl, ni.curVC = nil, nil, -1
+		// Keep curFl's capacity for the next packet; the in-flight flits
+		// are owned by the network until ejection.
+		ni.cur, ni.curVC = nil, -1
+		ni.curFl = ni.curFl[:0]
 	}
 }
 
@@ -209,6 +256,7 @@ func (ni *NI) receiveFlit(f *Flit) {
 			p:       next,
 			readyAt: now + ni.decodeLatency(next),
 		})
+		ni.pendingDeliveries++
 	}
 }
 
@@ -234,7 +282,10 @@ func (ni *NI) processDeliveries(now sim.Cycle) {
 			n++
 		}
 		if n > 0 {
-			ni.deliverQ[src] = q[n:]
+			// Compact in place so the backing array is reused instead of
+			// advancing the slice start and reallocating on append.
+			ni.deliverQ[src] = q[:copy(q, q[n:])]
+			ni.pendingDeliveries -= n
 		}
 	}
 }
@@ -268,16 +319,11 @@ func (ni *NI) deliver(p *Packet, now sim.Cycle) {
 
 // pendingWork reports whether the NI still holds undelivered state.
 func (ni *NI) pendingWork() bool {
-	if len(ni.queue) > 0 || ni.cur != nil {
+	if len(ni.queue) > ni.qhead || ni.cur != nil || ni.pendingDeliveries > 0 {
 		return true
 	}
 	for _, m := range ni.reorder {
 		if len(m) > 0 {
-			return true
-		}
-	}
-	for _, q := range ni.deliverQ {
-		if len(q) > 0 {
 			return true
 		}
 	}

@@ -14,19 +14,40 @@ const (
 	vcActive                 // output VC allocated; flits may cross
 )
 
-// inputVC is one virtual-channel buffer on an input port.
+// inputVC is one virtual-channel buffer on an input port. The buffer is a
+// fixed-capacity ring sized to BufDepth at construction, so the credit
+// protocol's steady state performs no allocation: push/pop reuse the same
+// backing array for the lifetime of the router.
 type inputVC struct {
-	buf     []*Flit
+	buf     []*Flit // ring storage, len == BufDepth
+	head    int
+	count   int
 	state   vcState
 	outPort topology.Direction
 	outVC   int
+	// vaEpoch marks the stageVA pass that granted this VC, replacing the
+	// per-cycle granted map with an allocation-free stamp check.
+	vaEpoch uint64
 }
 
 func (v *inputVC) front() *Flit {
-	if len(v.buf) == 0 {
+	if v.count == 0 {
 		return nil
 	}
-	return v.buf[0]
+	return v.buf[v.head]
+}
+
+func (v *inputVC) push(f *Flit) {
+	v.buf[(v.head+v.count)%len(v.buf)] = f
+	v.count++
+}
+
+func (v *inputVC) pop() *Flit {
+	f := v.buf[v.head]
+	v.buf[v.head] = nil
+	v.head = (v.head + 1) % len(v.buf)
+	v.count--
+	return f
 }
 
 // outputVC tracks downstream credits and wormhole ownership for one
@@ -43,6 +64,13 @@ func (o *outputVC) hasCredit() bool { return o.infinite || o.credits > 0 }
 // allocation in stage 1 (consecutive cycles for a given head flit), switch
 // allocation in stage 2, switch + link traversal in stage 3. Per hop a
 // flit therefore spends three cycles uncontended.
+//
+// The router maintains active-set counters (flits, routing) so
+// Network.Step can skip the pipeline stages of quiescent routers entirely
+// — the dominant cost in low-injection sweeps where most of the mesh is
+// idle every cycle. The counters are bookkeeping only: they gate work
+// that would have been a no-op, so arbitration order and simulation
+// results are bit-identical to the exhaustive sweep.
 type router struct {
 	id    int
 	net   *Network
@@ -54,6 +82,13 @@ type router struct {
 	// saInputBusy marks input ports that already sent a flit this cycle
 	// (one crossbar input per port per cycle).
 	saInputBusy []bool
+
+	// Active-set counters. A VC can only hold the vcRouting state while
+	// it has a buffered head flit, so routing > 0 implies flits > 0.
+	flits   int // flits resident in input buffers
+	routing int // input VCs in the vcRouting state
+
+	vaEpoch uint64 // stamp for the current stageVA pass
 }
 
 func newRouter(id int, net *Network) *router {
@@ -74,7 +109,7 @@ func newRouter(id int, net *Network) *router {
 		r.vaRR[p] = make([]int, net.cfg.VCs)
 		isEjection := topology.Direction(p) >= topology.Local
 		for v := 0; v < net.cfg.VCs; v++ {
-			r.in[p][v] = &inputVC{}
+			r.in[p][v] = &inputVC{buf: make([]*Flit, net.cfg.BufDepth)}
 			r.out[p][v] = &outputVC{credits: net.cfg.BufDepth, infinite: isEjection}
 		}
 	}
@@ -84,10 +119,11 @@ func newRouter(id int, net *Network) *router {
 // acceptFlit places an arriving flit into an input buffer (buffer write).
 func (r *router) acceptFlit(port topology.Direction, vc int, f *Flit) {
 	ivc := r.in[port][vc]
-	if len(ivc.buf) >= r.net.cfg.BufDepth {
+	if ivc.count >= r.net.cfg.BufDepth {
 		panic("noc: input buffer overflow — credit protocol violated")
 	}
-	ivc.buf = append(ivc.buf, f)
+	ivc.push(f)
+	r.flits++
 	r.net.power.BufferWrites++
 }
 
@@ -100,6 +136,9 @@ func (r *router) stageSA() {
 	nvc := r.net.cfg.VCs
 	total := r.ports * nvc
 	for op := 0; op < r.ports; op++ {
+		if r.flits == 0 {
+			return // every buffered flit already granted this cycle
+		}
 		start := r.saRR[op]
 		for k := 0; k < total; k++ {
 			slot := (start + k) % total
@@ -117,7 +156,8 @@ func (r *router) stageSA() {
 				continue
 			}
 			// Grant: pop and traverse.
-			ivc.buf = ivc.buf[1:]
+			ivc.pop()
+			r.flits--
 			r.saInputBusy[ip] = true
 			r.saRR[op] = (slot + 1) % total
 			r.net.power.BufferReads++
@@ -147,6 +187,7 @@ func (r *router) forward(ip topology.Direction, iv int, op topology.Direction, o
 	if op >= topology.Local {
 		tile := net.topo.TileAt(r.id, op)
 		net.nis[tile].receiveFlit(f)
+		net.freeFlit(f)
 		return
 	}
 	next, ok := net.topo.Neighbor(r.id, op)
@@ -159,12 +200,16 @@ func (r *router) forward(ip topology.Direction, iv int, op topology.Direction, o
 }
 
 // stageVA allocates free output VCs to input VCs in the routing state,
-// separable with per-(port,vc) round-robin priority.
+// separable with per-(port,vc) round-robin priority. Grant bookkeeping
+// uses an epoch stamp on the input VC instead of a per-cycle map, and the
+// pass ends as soon as every routing VC has been granted.
 func (r *router) stageVA() {
 	nvc := r.net.cfg.VCs
-	granted := make(map[*inputVC]bool)
-	for op := 0; op < r.ports; op++ {
-		for ov := 0; ov < nvc; ov++ {
+	r.vaEpoch++
+	granted := 0
+	want := r.routing
+	for op := 0; op < r.ports && granted < want; op++ {
+		for ov := 0; ov < nvc && granted < want; ov++ {
 			ovc := r.out[op][ov]
 			if ovc.owned {
 				continue
@@ -175,13 +220,15 @@ func (r *router) stageVA() {
 				slot := (start + k) % total
 				ip, iv := slot/nvc, slot%nvc
 				ivc := r.in[ip][iv]
-				if ivc.state != vcRouting || int(ivc.outPort) != op || granted[ivc] {
+				if ivc.state != vcRouting || int(ivc.outPort) != op || ivc.vaEpoch == r.vaEpoch {
 					continue
 				}
 				ivc.outVC = ov
 				ivc.state = vcActive
+				r.routing--
 				ovc.owned = true
-				granted[ivc] = true
+				ivc.vaEpoch = r.vaEpoch
+				granted++
 				r.vaRR[op][ov] = (slot + 1) % total
 				r.net.power.VCAllocs++
 				if r.net.tracer != nil {
@@ -208,17 +255,10 @@ func (r *router) stageRC() {
 			}
 			ivc.outPort = r.net.topo.Route(r.id, f.Packet.Dst)
 			ivc.state = vcRouting
+			r.routing++
 		}
 	}
 }
 
 // bufferedFlits counts flits resident in the router, for drain detection.
-func (r *router) bufferedFlits() int {
-	n := 0
-	for _, port := range r.in {
-		for _, v := range port {
-			n += len(v.buf)
-		}
-	}
-	return n
-}
+func (r *router) bufferedFlits() int { return r.flits }

@@ -25,6 +25,7 @@ type CAM struct {
 	valid   []bool
 	pattern []uint32
 	freq    []uint64
+	hi      int // one past the highest valid index; scans stop here
 	stats   Stats
 }
 
@@ -41,6 +42,13 @@ func NewCAM(size int) *CAM {
 	}
 }
 
+// refreshHi lowers the scan bound after an invalidation at the top.
+func (c *CAM) refreshHi() {
+	for c.hi > 0 && !c.valid[c.hi-1] {
+		c.hi--
+	}
+}
+
 // Size returns the entry capacity.
 func (c *CAM) Size() int { return c.size }
 
@@ -49,9 +57,13 @@ func (c *CAM) Stats() Stats { return c.stats }
 
 // Lookup searches every entry in parallel for pattern and returns the
 // matching index. A hit bumps the entry's frequency counter.
+//
+// The scan stops at the highest valid index: entries beyond it cannot
+// match, so the result and the Stats counters — the hardware performs the
+// parallel compare regardless of occupancy — are unchanged.
 func (c *CAM) Lookup(pattern uint32) (idx int, ok bool) {
 	c.stats.Searches++
-	for i := 0; i < c.size; i++ {
+	for i := 0; i < c.hi; i++ {
 		if c.valid[i] && c.pattern[i] == pattern {
 			c.freq[i]++
 			c.stats.Hits++
@@ -63,7 +75,7 @@ func (c *CAM) Lookup(pattern uint32) (idx int, ok bool) {
 
 // Peek is Lookup without touching frequency or stats — for assertions.
 func (c *CAM) Peek(pattern uint32) (idx int, ok bool) {
-	for i := 0; i < c.size; i++ {
+	for i := 0; i < c.hi; i++ {
 		if c.valid[i] && c.pattern[i] == pattern {
 			return i, true
 		}
@@ -92,6 +104,9 @@ func (c *CAM) Insert(pattern uint32) (idx int, evicted uint32, hadEviction bool)
 	c.valid[slot] = true
 	c.pattern[slot] = pattern
 	c.freq[slot] = 1
+	if slot >= c.hi {
+		c.hi = slot + 1
+	}
 	c.stats.Writes++
 	return slot, evicted, hadEviction
 }
@@ -114,6 +129,7 @@ func (c *CAM) InvalidateIndex(i int) {
 	if i >= 0 && i < c.size {
 		c.valid[i] = false
 		c.freq[i] = 0
+		c.refreshHi()
 	}
 }
 
@@ -157,6 +173,13 @@ type TCAM struct {
 	valid []bool
 	ent   []TEntry
 	freq  []uint64
+	// Precomputed match-line constants: an entry matches key iff
+	// key&nm[i] == vm[i], where nm = ^Mask (care bits) and
+	// vm = Value &^ Mask. Invalid slots hold the unsatisfiable pair
+	// (nm=0, vm=1) so Search needs no per-entry validity branch.
+	nm    []uint32
+	vm    []uint32
+	hi    int // one past the highest valid index; scans stop here
 	stats Stats
 }
 
@@ -165,12 +188,18 @@ func NewTCAM(size int) *TCAM {
 	if size < 0 {
 		panic("tcam: negative TCAM size")
 	}
-	return &TCAM{
+	t := &TCAM{
 		size:  size,
 		valid: make([]bool, size),
 		ent:   make([]TEntry, size),
 		freq:  make([]uint64, size),
+		nm:    make([]uint32, size),
+		vm:    make([]uint32, size),
 	}
+	for i := range t.vm {
+		t.vm[i] = 1 // unsatisfiable with nm = 0
+	}
+	return t
 }
 
 // Size returns the entry capacity.
@@ -181,10 +210,16 @@ func (t *TCAM) Stats() Stats { return t.stats }
 
 // Search compares key against every entry in parallel and returns the
 // lowest matching index. A hit bumps the entry's frequency counter.
+//
+// The software fast path uses the precomputed match-line constants and
+// stops at the highest valid index; both are pure scan eliminations, so
+// the result and the Stats counters — hardware compares every line each
+// search regardless — are identical to the naive sweep.
 func (t *TCAM) Search(key uint32) (idx int, ok bool) {
 	t.stats.Searches++
-	for i := 0; i < t.size; i++ {
-		if t.valid[i] && t.ent[i].Matches(key) {
+	nm, vm := t.nm[:t.hi], t.vm[:t.hi]
+	for i := range nm {
+		if key&nm[i] == vm[i] {
 			t.freq[i]++
 			t.stats.Hits++
 			return i, true
@@ -195,7 +230,7 @@ func (t *TCAM) Search(key uint32) (idx int, ok bool) {
 
 // PeekExact returns the index of an entry with exactly this value and mask.
 func (t *TCAM) PeekExact(e TEntry) (idx int, ok bool) {
-	for i := 0; i < t.size; i++ {
+	for i := 0; i < t.hi; i++ {
 		if t.valid[i] && t.ent[i] == e {
 			return i, true
 		}
@@ -231,6 +266,11 @@ func (t *TCAM) Insert(e TEntry) (idx int, evicted TEntry, hadEviction bool) {
 	t.valid[slot] = true
 	t.ent[slot] = e
 	t.freq[slot] = 1
+	t.nm[slot] = ^e.Mask
+	t.vm[slot] = e.Value &^ e.Mask
+	if slot >= t.hi {
+		t.hi = slot + 1
+	}
 	t.stats.Writes++
 	return slot, evicted, hadEviction
 }
@@ -240,6 +280,10 @@ func (t *TCAM) InvalidateIndex(i int) {
 	if i >= 0 && i < t.size {
 		t.valid[i] = false
 		t.freq[i] = 0
+		t.nm[i], t.vm[i] = 0, 1 // unsatisfiable
+		for t.hi > 0 && !t.valid[t.hi-1] {
+			t.hi--
+		}
 	}
 }
 

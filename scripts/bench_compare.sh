@@ -1,0 +1,17 @@
+#!/bin/sh
+# bench_compare.sh — diff two BENCH_*.json captures and fail when the
+# new one regresses ns/op beyond the tolerance or grows allocs/op.
+#
+# Usage: scripts/bench_compare.sh old.json new.json [tolerance]
+#
+# Tolerance is the allowed fractional ns/op slowdown (default 0.25 =
+# 25%, loose enough to absorb machine noise on shared runners; tighten
+# it when comparing captures taken back-to-back on the same host).
+set -eu
+cd "$(dirname "$0")/.."
+
+if [ $# -lt 2 ]; then
+    echo "usage: $0 old.json new.json [tolerance]" >&2
+    exit 2
+fi
+go run ./cmd/benchjson -compare -old "$1" -new "$2" -tol "${3:-0.25}"

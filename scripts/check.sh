@@ -26,6 +26,17 @@ go build ./...
 echo '>> go test -race -short ./...'
 go test -race -short ./...
 
+# The parallel experiment runner's determinism contract is guarded by an
+# explicit race-detector pass: the short-mode subset above exercises the
+# worker pool, and this run pins the mapJobs scheduling itself.
+echo '>> go test -race (parallel runner)'
+go test -race -run 'TestMapJobs|TestDriversParallelEquivalence' -short ./internal/experiments
+
+# Alloc-budget gate: the simulator hot path must stay allocation-free in
+# a control-packet steady state (see DESIGN.md §9).
+echo '>> alloc budget (TestStepZeroAllocs)'
+go test -run 'TestStepZeroAllocs' ./internal/noc
+
 echo '>> coverage (per package)'
 coverprofile=${COVERPROFILE:-/tmp/approxnoc-cover.out}
 go test -short -coverprofile "$coverprofile" ./...
@@ -49,6 +60,15 @@ fi
 if [ "${FUZZ:-0}" = "1" ]; then
     echo '>> fuzz smoke'
     ./scripts/fuzz_smoke.sh
+fi
+
+if [ "${BENCH:-0}" = "1" ]; then
+    # Kernel-only capture (the figure suite is minutes of wall clock):
+    # proves the bench-json pipeline end to end and leaves a comparable
+    # snapshot in /tmp for scripts/bench_compare.sh.
+    echo '>> bench-json capture (kernel benchmarks)'
+    SKIP_FIGURES=1 KERNEL_BENCHTIME=${KERNEL_BENCHTIME:-100x} \
+        ./scripts/bench_json.sh /tmp/approxnoc-bench-check.json
 fi
 
 echo 'check: all green'
