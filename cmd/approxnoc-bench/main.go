@@ -20,6 +20,7 @@ import (
 
 	"approxnoc/internal/compress"
 	"approxnoc/internal/experiments"
+	"approxnoc/internal/serve"
 )
 
 // experimentOrder drives `-exp all` and must list each artifact exactly
@@ -30,6 +31,7 @@ var experimentOrder = []string{
 	"fig13", "fig14", "fig15", "fig16", "fig17", "area",
 	"ablation-overlap", "ablation-pmt", "ablation-window", "ablation-adaptive",
 	"extension-bdi", "ablation-matchunits", "ablation-router", "fig16-measured",
+	"gateway",
 }
 
 func main() {
@@ -231,7 +233,80 @@ func run(id string, cfg experiments.Config) (any, string, error) {
 			return nil, "", err
 		}
 		return rows, experiments.FormatAblationWindow(rows), nil
+	case "gateway":
+		rows, err := gatewayGrid(cfg)
+		if err != nil {
+			return nil, "", err
+		}
+		return rows, formatGatewayGrid(rows), nil
 	default:
 		return nil, "", fmt.Errorf("unknown experiment %q", id)
 	}
+}
+
+// gatewayRow is one cell of the wire-path throughput grid: a live
+// loopback gateway driven over TCP at a fixed connection count,
+// pipeline depth, and payload size. Unlike the simulation figures these
+// are wall-clock measurements — run-to-run variance is expected and the
+// rows are not golden-pinned.
+type gatewayRow struct {
+	Conns           int     `json:"conns"`
+	Depth           int     `json:"depth"`
+	Words           int     `json:"words"`
+	RecordsPerSec   float64 `json:"records_per_sec"`
+	PayloadMBPerSec float64 `json:"payload_mb_per_sec"`
+	FramesPerBatch  float64 `json:"frames_per_batch"`
+	Retries         int     `json:"retries"`
+}
+
+// gatewayGridRecords is the per-cell record count: large enough that
+// setup and warmup are amortized away, small enough that the full grid
+// stays a few seconds of wall clock.
+const gatewayGridRecords = 20000
+
+// gatewayGrid measures loopback wire throughput across connections x
+// pipeline-depth x payload-size. The depth=1 rows are the lock-step
+// (pre-pipelining) baseline the deeper rows are read against.
+func gatewayGrid(cfg experiments.Config) ([]gatewayRow, error) {
+	scfg := serve.Config{
+		Nodes: 16, Scheme: compress.Baseline, ThresholdPct: cfg.ErrorThreshold,
+		Shards: 4, QueueDepth: 4096,
+	}
+	var rows []gatewayRow
+	for _, conns := range []int{1, 4} {
+		for _, depth := range []int{1, 8, 64} {
+			for _, words := range []int{16, 64} {
+				res, err := serve.RunLoopback(scfg, serve.Loadgen{
+					Conns: conns, Depth: depth, Words: words, Records: gatewayGridRecords,
+				})
+				if err != nil {
+					return nil, fmt.Errorf("gateway grid conns=%d depth=%d words=%d: %w", conns, depth, words, err)
+				}
+				fpb := 0.0
+				if res.Wire.WriteBatches > 0 {
+					fpb = float64(res.Wire.WriteFrames) / float64(res.Wire.WriteBatches)
+				}
+				rows = append(rows, gatewayRow{
+					Conns: conns, Depth: depth, Words: words,
+					RecordsPerSec:   res.RecordsPerSec,
+					PayloadMBPerSec: res.PayloadMBPerSec,
+					FramesPerBatch:  fpb,
+					Retries:         res.Retries,
+				})
+			}
+		}
+	}
+	return rows, nil
+}
+
+func formatGatewayGrid(rows []gatewayRow) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Gateway wire path — loopback throughput (%d records per cell)\n", gatewayGridRecords)
+	fmt.Fprintf(&sb, "%6s %6s %6s %14s %12s %13s %8s\n",
+		"conns", "depth", "words", "records/sec", "payload MB/s", "frames/batch", "retries")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%6d %6d %6d %14.0f %12.2f %13.1f %8d\n",
+			r.Conns, r.Depth, r.Words, r.RecordsPerSec, r.PayloadMBPerSec, r.FramesPerBatch, r.Retries)
+	}
+	return sb.String()
 }

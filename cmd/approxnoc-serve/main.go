@@ -22,6 +22,7 @@ import (
 	"os"
 	"runtime"
 	"sync"
+	"time"
 
 	"approxnoc/internal/compress"
 	"approxnoc/internal/obs"
@@ -46,8 +47,12 @@ func main() {
 	locked := flag.Bool("locked", false, "mutex-guarded single codec pool instead of shards")
 	adaptive := flag.Bool("adaptive", false, "wrap codecs with the compression on/off controller")
 	selftest := flag.Bool("selftest", false, "replay a workload through the gateway and exit")
+	loadgen := flag.Bool("loadgen", false, "measure loopback wire-path throughput and exit")
+	conns := flag.Int("conns", 1, "TCP connections for -loadgen")
+	depth := flag.Int("depth", 8, "pipelined requests in flight per connection for -loadgen")
+	words := flag.Int("words", 16, "block payload size in 32-bit words for -loadgen")
 	benchmark := flag.String("benchmark", "ssca2", "benchmark trace for -selftest")
-	records := flag.Int("records", 2000, "trace records for -selftest")
+	records := flag.Int("records", 2000, "trace records for -selftest; total requests for -loadgen")
 	clients := flag.Int("clients", 16, "concurrent TCP clients for -selftest")
 	trace := flag.String("trace", "", "replay an ANTR trace file instead of a synthetic workload (-selftest)")
 	seed := flag.Uint64("seed", 1, "seed for the synthetic workload (-selftest)")
@@ -68,6 +73,8 @@ func main() {
 			err = runObsDemo(cfg, *benchmark, *records, *seed, *debugAddr)
 		case *selftest:
 			err = runSelftest(cfg, *benchmark, *trace, *records, *clients, *seed)
+		case *loadgen:
+			err = runLoadgen(cfg, serve.Loadgen{Conns: *conns, Depth: *depth, Words: *words, Records: *records})
 		default:
 			err = runServer(cfg, *addr, *debugAddr)
 		}
@@ -94,8 +101,10 @@ func runServer(cfg serve.Config, addr, debugAddr string) error {
 		return err
 	}
 	defer gw.Close()
+	srv := serve.NewServer(gw)
 	if reg != nil {
 		gw.RegisterMetrics(reg)
+		srv.RegisterMetrics(reg)
 		tracer.RegisterMetrics(reg)
 		dbg, err := obs.StartDebugServer(debugAddr, reg, tracer)
 		if err != nil {
@@ -104,12 +113,32 @@ func runServer(cfg serve.Config, addr, debugAddr string) error {
 		defer dbg.Close()
 		fmt.Printf("debug endpoints on http://%s/ (/metrics /trace /debug/pprof)\n", dbg.Addr())
 	}
-	srv := serve.NewServer(gw)
 	eff := gw.Config()
 	fmt.Printf("serving %v gateway: %d nodes, %d shards (locked=%v), queue %d, batch %d, threshold %d%%\n",
 		eff.Scheme, eff.Nodes, eff.Shards, eff.Locked, eff.QueueDepth, eff.MaxBatch, eff.ThresholdPct)
 	fmt.Printf("listening on %s\n", addr)
 	return srv.ListenAndServe(addr)
+}
+
+// runLoadgen measures loopback wire-path throughput: a gateway served on
+// an ephemeral port, lg.Conns TCP connections each keeping lg.Depth
+// requests in flight, lg.Records round trips total.
+func runLoadgen(cfg serve.Config, lg serve.Loadgen) error {
+	res, err := serve.RunLoopback(cfg, lg)
+	if err != nil {
+		return err
+	}
+	framesPerBatch := 0.0
+	if res.Wire.WriteBatches > 0 {
+		framesPerBatch = float64(res.Wire.WriteFrames) / float64(res.Wire.WriteBatches)
+	}
+	fmt.Printf("loadgen             %v gateway, %d conns x depth %d, %d-word blocks\n",
+		cfg.Scheme, max(lg.Conns, 1), max(lg.Depth, 1), max(lg.Words, 1))
+	fmt.Printf("throughput          %.0f records/sec (%.2f MB/s payload), %d records in %v\n",
+		res.RecordsPerSec, res.PayloadMBPerSec, res.Records, res.Elapsed.Round(time.Millisecond))
+	fmt.Printf("wire                %d read frames, %d write batches (%.1f frames/batch), %d bytes out, %d overload retries\n",
+		res.Wire.ReadFrames, res.Wire.WriteBatches, framesPerBatch, res.Wire.WriteBytes, res.Retries)
+	return nil
 }
 
 // selftestRecords builds the data records to replay: either a recorded

@@ -8,11 +8,16 @@
 //
 // Compare (exits 1 on regression beyond tolerance):
 //
-//	benchjson -compare -old BENCH_4.json -new BENCH_5.json -tol 0.25
+//	benchjson -compare -old BENCH_5.json -new BENCH_6.json -tol 0.25
 //
 // The compare mode only gates ns/op and allocs/op: custom figure
 // metrics (latencies, ratios) are simulation outputs whose drift is
 // guarded by the determinism goldens, not by the benchmark harness.
+// Throughput metrics shared by both sides (units ending in /s or /sec,
+// e.g. the gateway family's records/sec) are displayed for context but
+// never gate. -allocslack grants an absolute allocs/op allowance on top
+// of the baseline for benchmarks whose steady state is near-zero but
+// scheduling-sensitive on noisy runners.
 package main
 
 import (
@@ -58,10 +63,11 @@ func main() {
 	oldPath := flag.String("old", "", "baseline capture (compare mode)")
 	newPath := flag.String("new", "", "candidate capture (compare mode)")
 	tol := flag.Float64("tol", 0.25, "allowed fractional ns/op regression (compare mode)")
+	allocSlack := flag.Float64("allocslack", 0, "allowed absolute allocs/op growth (compare mode)")
 	flag.Parse()
 
 	if *compare {
-		os.Exit(runCompare(*oldPath, *newPath, *tol))
+		os.Exit(runCompare(*oldPath, *newPath, *tol, *allocSlack))
 	}
 	cap, err := parse(os.Stdin)
 	if err != nil {
@@ -167,10 +173,11 @@ func load(path string) (*Capture, error) {
 }
 
 // runCompare reports per-benchmark ns/op deltas and fails when the
-// candidate is more than tol slower, or allocates more per op, than the
-// baseline. Benchmarks present on only one side are reported but never
-// fail the gate (suites grow over time).
-func runCompare(oldPath, newPath string, tol float64) int {
+// candidate is more than tol slower, or allocates more than allocSlack
+// extra per op, than the baseline. Benchmarks present on only one side
+// are reported but never fail the gate (suites grow over time, and CI
+// compares kernel-only captures against full snapshots).
+func runCompare(oldPath, newPath string, tol, allocSlack float64) int {
 	if oldPath == "" || newPath == "" {
 		fmt.Fprintln(os.Stderr, "benchjson: -compare requires -old and -new")
 		return 2
@@ -214,12 +221,13 @@ func runCompare(oldPath, newPath string, tol float64) int {
 		if delta > tol {
 			status = "SLOW "
 			failed++
-		} else if nb.AllocsPerOp > ob.AllocsPerOp {
+		} else if nb.AllocsPerOp > ob.AllocsPerOp+allocSlack {
 			status = "ALLOC"
 			failed++
 		}
-		fmt.Printf("%s %-55s %12.0f -> %12.0f ns/op (%+6.1f%%)  allocs %4.0f -> %4.0f\n",
-			status, k, ob.NsPerOp, nb.NsPerOp, 100*delta, ob.AllocsPerOp, nb.AllocsPerOp)
+		fmt.Printf("%s %-55s %12.0f -> %12.0f ns/op (%+6.1f%%)  allocs %4.0f -> %4.0f%s\n",
+			status, k, ob.NsPerOp, nb.NsPerOp, 100*delta, ob.AllocsPerOp, nb.AllocsPerOp,
+			throughputNote(ob, nb))
 	}
 	for k := range oldBy {
 		if _, ok := newBy[k]; !ok {
@@ -232,4 +240,22 @@ func runCompare(oldPath, newPath string, tol float64) int {
 	}
 	fmt.Println("benchjson: no regressions")
 	return 0
+}
+
+// throughputNote formats the throughput metrics (units ending in /s or
+// /sec) both captures report for a benchmark — context for the humans
+// reading a compare, never part of the gate.
+func throughputNote(ob, nb Bench) string {
+	var units []string
+	for unit := range nb.Metrics {
+		if _, ok := ob.Metrics[unit]; ok && (strings.HasSuffix(unit, "/s") || strings.HasSuffix(unit, "/sec")) {
+			units = append(units, unit)
+		}
+	}
+	sort.Strings(units)
+	var sb strings.Builder
+	for _, unit := range units {
+		fmt.Fprintf(&sb, "  %s %.0f -> %.0f", unit, ob.Metrics[unit], nb.Metrics[unit])
+	}
+	return sb.String()
 }

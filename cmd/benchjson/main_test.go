@@ -73,22 +73,26 @@ func TestCompare(t *testing.T) {
 	ok := `{"schema":"approxnoc-bench/v1","benchmarks":[
 		{"pkg":"p","name":"BenchmarkA","ns_per_op":110,"allocs_per_op":0},
 		{"pkg":"p","name":"BenchmarkB","ns_per_op":90,"allocs_per_op":2}]}`
-	if code := runCompare(write("old.json", oldJSON), write("ok.json", ok), 0.25); code != 0 {
+	if code := runCompare(write("old.json", oldJSON), write("ok.json", ok), 0.25, 0); code != 0 {
 		t.Fatalf("in-tolerance compare exited %d, want 0", code)
 	}
 
 	// 2x slower: fails.
 	slow := `{"schema":"approxnoc-bench/v1","benchmarks":[
 		{"pkg":"p","name":"BenchmarkA","ns_per_op":200,"allocs_per_op":0}]}`
-	if code := runCompare(write("old2.json", oldJSON), write("slow.json", slow), 0.25); code != 1 {
+	if code := runCompare(write("old2.json", oldJSON), write("slow.json", slow), 0.25, 0); code != 1 {
 		t.Fatalf("regressed compare exited %d, want 1", code)
 	}
 
-	// Alloc growth fails even when ns/op improves.
+	// Alloc growth fails even when ns/op improves...
 	allocs := `{"schema":"approxnoc-bench/v1","benchmarks":[
 		{"pkg":"p","name":"BenchmarkA","ns_per_op":50,"allocs_per_op":3}]}`
-	if code := runCompare(write("old3.json", oldJSON), write("allocs.json", allocs), 0.25); code != 1 {
+	if code := runCompare(write("old3.json", oldJSON), write("allocs.json", allocs), 0.25, 0); code != 1 {
 		t.Fatalf("alloc-growth compare exited %d, want 1", code)
+	}
+	// ...unless it stays within the absolute allocslack allowance.
+	if code := runCompare(write("old3b.json", oldJSON), write("allocs2.json", allocs), 0.25, 4); code != 0 {
+		t.Fatalf("alloc growth within slack exited %d, want 0", code)
 	}
 
 	// New benchmarks never fail the gate.
@@ -96,7 +100,19 @@ func TestCompare(t *testing.T) {
 		{"pkg":"p","name":"BenchmarkA","ns_per_op":100,"allocs_per_op":0},
 		{"pkg":"p","name":"BenchmarkB","ns_per_op":100,"allocs_per_op":2},
 		{"pkg":"p","name":"BenchmarkC","ns_per_op":999,"allocs_per_op":9}]}`
-	if code := runCompare(write("old4.json", oldJSON), write("grown.json", grown), 0.25); code != 0 {
+	if code := runCompare(write("old4.json", oldJSON), write("grown.json", grown), 0.25, 0); code != 0 {
 		t.Fatalf("grown-suite compare exited %d, want 0", code)
+	}
+}
+
+func TestThroughputNote(t *testing.T) {
+	ob := Bench{Metrics: map[string]float64{"records/sec": 100000, "retries": 3, "MB/s": 12}}
+	nb := Bench{Metrics: map[string]float64{"records/sec": 200000, "MB/s": 24, "new/sec": 1}}
+	note := throughputNote(ob, nb)
+	if !strings.Contains(note, "records/sec 100000 -> 200000") || !strings.Contains(note, "MB/s 12 -> 24") {
+		t.Fatalf("throughput metrics missing from note %q", note)
+	}
+	if strings.Contains(note, "retries") || strings.Contains(note, "new/sec") {
+		t.Fatalf("non-shared or non-throughput metric leaked into note %q", note)
 	}
 }

@@ -1,0 +1,249 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"runtime"
+	"sync"
+	"time"
+
+	"approxnoc/internal/value"
+)
+
+// Loadgen parameterizes a loopback throughput measurement of the wire
+// path: Conns TCP connections, each keeping Depth pipelined requests in
+// flight, moving Words-word blocks through a gateway served on an
+// ephemeral loopback port.
+type Loadgen struct {
+	// Conns is the number of concurrent TCP connections (0 means 1).
+	Conns int
+	// Depth is the pipeline depth per connection — how many requests
+	// each connection keeps in flight (0 means 1; 1 is lock-step
+	// request/response, the pre-pipelining behavior).
+	Depth int
+	// Words is the block payload size in 32-bit words (0 means 16).
+	Words int
+	// Records is the total number of requests to move (0 means 10000).
+	Records int
+}
+
+// withDefaults fills zero knobs and validates the load shape.
+func (lg Loadgen) withDefaults() (Loadgen, error) {
+	if lg.Conns == 0 {
+		lg.Conns = 1
+	}
+	if lg.Depth == 0 {
+		lg.Depth = 1
+	}
+	if lg.Words == 0 {
+		lg.Words = 16
+	}
+	if lg.Records == 0 {
+		lg.Records = 10000
+	}
+	if lg.Conns < 0 || lg.Depth < 0 || lg.Words < 0 || lg.Records < 0 {
+		return lg, fmt.Errorf("serve: loadgen knobs must be positive: %+v", lg)
+	}
+	if lg.Words > MaxBlockWords {
+		return lg, fmt.Errorf("serve: loadgen words %d exceeds wire limit %d", lg.Words, MaxBlockWords)
+	}
+	return lg, nil
+}
+
+// LoadgenResult is one loopback throughput measurement.
+type LoadgenResult struct {
+	// Records is the number of requests completed; Retries counts
+	// ErrOverloaded re-submissions on top of them.
+	Records, Retries int
+	// Elapsed is the wall time of the replay (setup excluded).
+	Elapsed time.Duration
+	// RecordsPerSec is the headline throughput.
+	RecordsPerSec float64
+	// PayloadMBPerSec is uncompressed block payload moved per second
+	// (requests only; responses double the wire traffic).
+	PayloadMBPerSec float64
+	// Wire snapshots the server's wire counters after the replay.
+	Wire WireStats
+}
+
+// LoadgenRig is a ready-to-drive loopback gateway: server, listener,
+// and dialed clients. It separates setup from measurement so benchmark
+// iterations reuse one rig; Run may be called any number of times.
+type LoadgenRig struct {
+	lg       Loadgen
+	gw       *Gateway
+	srv      *Server
+	clients  []*Client
+	blocks   []*value.Block
+	nodes    int
+	serveErr chan error
+}
+
+// NewLoadgenRig builds a gateway from cfg, serves it on an ephemeral
+// loopback port, and dials lg.Conns clients. Close the rig to tear all
+// of it down (the gateway included).
+func NewLoadgenRig(cfg Config, lg Loadgen) (*LoadgenRig, error) {
+	lg, err := lg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	gw, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	rig := &LoadgenRig{lg: lg, gw: gw, srv: NewServer(gw), nodes: gw.Config().Nodes, serveErr: make(chan error, 1)}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		gw.Close()
+		return nil, fmt.Errorf("serve: %w", err)
+	}
+	go func() { rig.serveErr <- rig.srv.Serve(ln) }()
+	for c := 0; c < lg.Conns; c++ {
+		cl, err := Dial(ln.Addr().String())
+		if err != nil {
+			rig.Close()
+			return nil, err
+		}
+		rig.clients = append(rig.clients, cl)
+	}
+	// A deterministic spread of block contents: enough variety to keep
+	// dictionary codecs honest, reused across the whole run so block
+	// generation never shows up in the measurement.
+	rig.blocks = make([]*value.Block, 64)
+	for i := range rig.blocks {
+		blk := value.NewBlock(lg.Words, value.Int32, true)
+		for w := range blk.Words {
+			blk.Words[w] = uint32(i*2654435761 + w*40503)
+		}
+		rig.blocks[i] = blk
+	}
+	return rig, nil
+}
+
+// Run replays records requests through the rig, Depth in flight per
+// connection, retrying overloaded submissions, and returns the
+// measurement. records 0 means lg.Records.
+func (r *LoadgenRig) Run(records int) (LoadgenResult, error) {
+	if records <= 0 {
+		records = r.lg.Records
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, len(r.clients))
+	retries := make([]int, len(r.clients))
+	start := time.Now()
+	for c, cl := range r.clients {
+		// Spread the remainder so every record is issued exactly once.
+		per := records / len(r.clients)
+		if c < records%len(r.clients) {
+			per++
+		}
+		if per == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(c int, cl *Client, per int) {
+			defer wg.Done()
+			done := make(chan *Call, r.lg.Depth)
+			outstanding, sent := 0, 0
+			settle := func(call *Call) error {
+				outstanding--
+				if call.Err == nil {
+					return nil
+				}
+				if errors.Is(call.Err, ErrOverloaded) {
+					// Back off and re-issue: backpressure is expected
+					// under a deep pipeline, the record still counts
+					// only once it completes.
+					retries[c]++
+					runtime.Gosched()
+					cl.Go(call.Req, done)
+					outstanding++
+					return nil
+				}
+				return fmt.Errorf("serve: loadgen conn %d: %w", c, call.Err)
+			}
+			for sent < per || outstanding > 0 {
+				for outstanding < r.lg.Depth && sent < per {
+					src := (c + sent) % r.nodes
+					cl.Go(Request{
+						Src: src, Dst: (src + 1) % r.nodes,
+						Block:        r.blocks[(c+sent)%len(r.blocks)],
+						ThresholdPct: DefaultThreshold,
+					}, done)
+					outstanding++
+					sent++
+				}
+				// Block for one completion, then drain everything already
+				// settled, so the refill above reissues in batches — the
+				// write arena then coalesces them into one flush.
+				if err := settle(<-done); err != nil {
+					errs <- err
+					return
+				}
+				for drained := false; !drained && outstanding > 0; {
+					select {
+					case call := <-done:
+						if err := settle(call); err != nil {
+							errs <- err
+							return
+						}
+					default:
+						drained = true
+					}
+				}
+			}
+		}(c, cl, per)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	close(errs)
+	for err := range errs {
+		return LoadgenResult{}, err
+	}
+	res := LoadgenResult{
+		Records:       records,
+		Elapsed:       elapsed,
+		RecordsPerSec: float64(records) / elapsed.Seconds(),
+		Wire:          r.srv.WireStats(),
+	}
+	for _, n := range retries {
+		res.Retries += n
+	}
+	res.PayloadMBPerSec = res.RecordsPerSec * float64(4*r.lg.Words) / (1 << 20)
+	return res, nil
+}
+
+// Metrics snapshots the rig's gateway counters.
+func (r *LoadgenRig) Metrics() Metrics { return r.gw.Metrics() }
+
+// Close tears down clients, server, and gateway.
+func (r *LoadgenRig) Close() error {
+	for _, cl := range r.clients {
+		cl.Close()
+	}
+	err := r.srv.Close()
+	if serr := <-r.serveErr; err == nil {
+		err = serr
+	}
+	if gerr := r.gw.Close(); err == nil {
+		err = gerr
+	}
+	return err
+}
+
+// RunLoopback is the one-shot convenience: build a rig, run it once,
+// tear it down. cmd/approxnoc-serve -loadgen and the approxnoc-bench
+// gateway experiment use it; benchmarks use the rig directly so setup
+// stays out of the measured window.
+func RunLoopback(cfg Config, lg Loadgen) (LoadgenResult, error) {
+	rig, err := NewLoadgenRig(cfg, lg)
+	if err != nil {
+		return LoadgenResult{}, err
+	}
+	res, err := rig.Run(0)
+	if cerr := rig.Close(); err == nil && cerr != nil {
+		err = cerr
+	}
+	return res, err
+}

@@ -82,6 +82,38 @@ func (g *Gateway) RegisterMetrics(reg *obs.Registry) {
 	registerCodecMetrics(reg, "serve", g.CodecStats)
 }
 
+// RegisterMetrics exports the TCP server's wire-path state on reg:
+// connection and pipeline-depth gauges plus the batched-write counters.
+// Like the gateway families, every collector reads atomics, so scraping
+// never touches a connection goroutine. Family names follow the same
+// golden-pinned scheme (DESIGN.md §8) under the serve_wire_ prefix.
+func (s *Server) RegisterMetrics(reg *obs.Registry) {
+	reg.GaugeFunc("serve_wire_conns", "live TCP connections",
+		func() float64 { return float64(s.wire.conns.Load()) })
+	reg.GaugeFunc("serve_wire_inflight", "pipelined requests in flight across all connections",
+		func() float64 { return float64(s.wire.inflight.Load()) })
+	reg.GaugeFunc("serve_wire_max_inflight", "per-connection pipeline bound (MaxInflight)",
+		func() float64 {
+			if s.MaxInflight > 0 {
+				return float64(s.MaxInflight)
+			}
+			return float64(defaultMaxInflight)
+		})
+	counter := func(name, help string, read func() uint64) {
+		reg.Collector(name, help, obs.TypeCounter, nil, func() []obs.Sample {
+			return []obs.Sample{{Value: float64(read())}}
+		})
+	}
+	counter("serve_wire_read_frames_total", "request frames decoded",
+		func() uint64 { return s.wire.readFrames.Load() })
+	counter("serve_wire_write_batches_total", "coalesced response writes (one conn.Write each)",
+		func() uint64 { return s.wire.writeBatches.Load() })
+	counter("serve_wire_write_frames_total", "response frames carried by write batches",
+		func() uint64 { return s.wire.writeFrames.Load() })
+	counter("serve_wire_write_bytes_total", "response bytes put on the wire",
+		func() uint64 { return s.wire.writeBytes.Load() })
+}
+
 // registerCodecMetrics exports a compress.OpStats source under prefix.
 // Mirrors the NoC-side families so both layers expose the same shapes.
 func registerCodecMetrics(reg *obs.Registry, prefix string, src func() compress.OpStats) {

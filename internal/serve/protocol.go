@@ -93,6 +93,46 @@ func UnmarshalResponse(p []byte) (Result, error) {
 	return parseResponse(p)
 }
 
+// appendRequestFrame appends a complete length-prefixed request frame to
+// b — header and payload in one pass, no intermediate slice. It is the
+// zero-copy encode path: callers accumulate many frames in a reused
+// arena and hand the whole batch to one Write. On error b is returned
+// unchanged.
+func appendRequestFrame(b []byte, id uint64, req Request) ([]byte, error) {
+	if err := validateWireBlock(req.Block); err != nil {
+		return b, err
+	}
+	start := len(b)
+	b = append(b, 0, 0, 0, 0)
+	b = appendRequest(b, id, req)
+	n := len(b) - start - 4
+	if n > maxFrame {
+		return b[:start], fmt.Errorf("serve: frame of %d bytes exceeds limit %d", n, maxFrame)
+	}
+	binary.BigEndian.PutUint32(b[start:], uint32(n))
+	return b, nil
+}
+
+// appendResponseFrame is appendRequestFrame for the response direction.
+// Responses the wire cannot represent (block too large for the frame
+// cap) are replaced by an error response under the same id, so the peer
+// learns about the failure instead of losing the request.
+func appendResponseFrame(b []byte, res Result) []byte {
+	start := len(b)
+	b = append(b, 0, 0, 0, 0)
+	b = appendResponse(b, res)
+	n := len(b) - start - 4
+	if n > maxFrame {
+		b = appendResponse(b[:start+4], Result{
+			Tag: res.Tag,
+			Err: fmt.Errorf("serve: response of %d bytes exceeds frame limit %d", n, maxFrame),
+		})
+		n = len(b) - start - 4
+	}
+	binary.BigEndian.PutUint32(b[start:], uint32(n))
+	return b
+}
+
 // writeFrame sends one length-prefixed payload.
 func writeFrame(w io.Writer, payload []byte) error {
 	if len(payload) > maxFrame {
@@ -108,12 +148,18 @@ func writeFrame(w io.Writer, payload []byte) error {
 }
 
 // readFrame receives one payload, reusing buf when it is large enough.
+// The header is read into buf too (a stack array passed to an io.Reader
+// escapes, which would put one allocation per frame back on the hot
+// path); the payload then overwrites it.
 func readFrame(r io.Reader, buf []byte) ([]byte, error) {
-	var hdr [4]byte
-	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+	if cap(buf) < 4 {
+		buf = make([]byte, 4)
+	}
+	hdr := buf[:4]
+	if _, err := io.ReadFull(r, hdr); err != nil {
 		return nil, err
 	}
-	n := binary.BigEndian.Uint32(hdr[:])
+	n := binary.BigEndian.Uint32(hdr)
 	if n > maxFrame {
 		return nil, fmt.Errorf("serve: frame of %d bytes exceeds limit %d", n, maxFrame)
 	}

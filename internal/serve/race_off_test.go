@@ -1,0 +1,8 @@
+//go:build !race
+
+package serve
+
+// raceEnabled reports whether the race detector is compiled in; the
+// allocation-budget gates skip under it because instrumentation skews
+// heap accounting.
+const raceEnabled = false

@@ -2,19 +2,86 @@ package serve
 
 import (
 	"bufio"
-	"errors"
 	"fmt"
-	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 )
 
+const (
+	// defaultMaxInflight is the per-connection pipeline bound: how many
+	// requests may sit between the read loop and the write loop at once.
+	// It sizes the per-connection result channel, so the shard workers'
+	// never-block reply contract holds by construction.
+	defaultMaxInflight = 1024
+	// wireFlushBytes is the write-batch target: the connection writer
+	// keeps coalescing ready responses into its arena until nothing more
+	// is immediately ready or the arena reaches this size, then issues
+	// one conn.Write for the whole batch.
+	wireFlushBytes = 64 << 10
+	// wireMaxRetained caps the arena capacity kept across batches, so
+	// one burst of maximum-size frames does not pin memory forever.
+	wireMaxRetained = 1 << 20
+)
+
+// WireStats is a snapshot of the server's wire-path counters.
+type WireStats struct {
+	// Conns is the number of live connections.
+	Conns int64
+	// Inflight is the number of requests currently between a connection
+	// read loop and its write loop — the aggregate pipeline depth.
+	Inflight int64
+	// ReadFrames counts request frames decoded.
+	ReadFrames uint64
+	// WriteBatches counts conn.Write calls; WriteFrames the response
+	// frames they carried (WriteFrames/WriteBatches is the coalescing
+	// rate); WriteBytes the total bytes put on the wire.
+	WriteBatches, WriteFrames, WriteBytes uint64
+}
+
+// wireStats holds the live atomics behind WireStats.
+type wireStats struct {
+	conns        atomic.Int64
+	inflight     atomic.Int64
+	readFrames   atomic.Uint64
+	writeBatches atomic.Uint64
+	writeFrames  atomic.Uint64
+	writeBytes   atomic.Uint64
+}
+
+func (w *wireStats) snapshot() WireStats {
+	return WireStats{
+		Conns:        w.conns.Load(),
+		Inflight:     w.inflight.Load(),
+		ReadFrames:   w.readFrames.Load(),
+		WriteBatches: w.writeBatches.Load(),
+		WriteFrames:  w.writeFrames.Load(),
+		WriteBytes:   w.writeBytes.Load(),
+	}
+}
+
 // Server exposes a Gateway over TCP with the length-prefixed binary
-// protocol. Each connection gets one reader and one writer goroutine;
-// requests are pipelined — responses can return out of order and carry
-// the request id, so a single connection can keep many blocks in flight.
+// protocol. Each connection runs a reader and a writer goroutine and
+// streams pipelined requests: the reader decodes frames and submits them
+// to the gateway without waiting for results, the writer drains the
+// connection's result channel and encodes responses (out of order, keyed
+// by request id) into a reused arena flushed in coalesced batches.
+//
+// In-flight requests per connection are bounded by MaxInflight tokens:
+// the reader claims a token per request and the writer releases it when
+// the response is encoded. A peer that stops reading therefore stalls —
+// writer blocked on the socket, tokens exhausted, reader parked on the
+// token claim — without deadlocking: everything drains as soon as the
+// peer reads again, and shard workers are never blocked either way
+// because the result channel always has a free slot per token.
 type Server struct {
 	gw *Gateway
+
+	// MaxInflight bounds the per-connection pipeline depth (0 means
+	// 1024). Set it before Serve; it must not change afterwards.
+	MaxInflight int
+
+	wire wireStats
 
 	mu     sync.Mutex
 	ln     net.Listener
@@ -31,6 +98,9 @@ func NewServer(gw *Gateway) *Server {
 
 // Gateway returns the wrapped gateway.
 func (s *Server) Gateway() *Gateway { return s.gw }
+
+// WireStats snapshots the wire-path counters.
+func (s *Server) WireStats() WireStats { return s.wire.snapshot() }
 
 // Addr returns the listener address, nil before Serve.
 func (s *Server) Addr() net.Addr {
@@ -107,78 +177,126 @@ func (s *Server) Close() error {
 	return nil
 }
 
-// handle runs one connection: the reader loop parses request frames and
-// submits them; a writer goroutine serializes responses. Each in-flight
-// request gets a small forwarder goroutine bridging its reply channel to
-// the shared writer, so a stalled connection never blocks a shard worker.
+// handle runs one connection's reader side and supervises its writer.
 func (s *Server) handle(conn net.Conn) {
-	defer s.wg.Done()
-	defer func() {
-		s.mu.Lock()
-		delete(s.conns, conn)
-		s.mu.Unlock()
-		conn.Close()
-	}()
+	limit := s.MaxInflight
+	if limit <= 0 {
+		limit = defaultMaxInflight
+	}
+	// results carries shard replies and reader-side synchronous errors
+	// to the writer. Its capacity matches the token count, so any holder
+	// of a token has a guaranteed free slot: sends never block a shard
+	// worker or the reader.
+	results := make(chan Result, limit)
+	tokens := make(chan struct{}, limit)
+	readerDone := make(chan struct{})
+	writerDone := make(chan struct{})
+	s.wire.conns.Add(1)
 
-	done := make(chan struct{})
-	defer close(done)
-	out := make(chan []byte, 64)
 	go func() {
-		w := bufio.NewWriter(conn)
-		for {
-			select {
-			case frame := <-out:
-				if err := writeFrame(w, frame); err != nil {
-					conn.Close() // unblocks the reader loop
-					return
-				}
-				// Flush when no more responses are immediately ready.
-				if len(out) == 0 {
-					if err := w.Flush(); err != nil {
-						conn.Close()
-						return
-					}
-				}
-			case <-done:
-				return
-			}
-		}
+		defer close(writerDone)
+		s.writeConn(conn, results, tokens, readerDone)
 	}()
 
-	send := func(frame []byte) {
+	s.readConn(conn, results, tokens, writerDone)
+
+	close(readerDone)
+	// Drop the connection before joining the writer: a writer parked in
+	// conn.Write on a peer that stopped reading must be unblocked, and
+	// once the read side is gone there is nobody left to answer.
+	conn.Close()
+	<-writerDone
+	// Requests still in flight at teardown settle into the buffered
+	// results channel and are garbage collected with it; release their
+	// tokens from the gauge before dropping the connection.
+	for released := false; !released; {
 		select {
-		case out <- frame:
-		case <-done:
+		case <-tokens:
+			s.wire.inflight.Add(-1)
+		default:
+			released = true
 		}
 	}
+	s.wire.conns.Add(-1)
+	s.mu.Lock()
+	delete(s.conns, conn)
+	s.mu.Unlock()
+	s.wg.Done()
+}
 
-	r := bufio.NewReader(conn)
+// readConn is the connection's read loop: decode a frame, claim a
+// pipeline token (blocking is the backpressure path), submit to the
+// gateway. Synchronous failures — parse errors, validation errors,
+// ErrOverloaded — become error results routed through the same writer
+// as shard replies, so the peer sees every request answered in whatever
+// order results are ready.
+func (s *Server) readConn(conn net.Conn, results chan<- Result, tokens chan<- struct{}, writerDone <-chan struct{}) {
+	r := bufio.NewReaderSize(conn, 64<<10)
 	var buf []byte
 	for {
 		frame, err := readFrame(r, buf)
 		if err != nil {
-			if errors.Is(err, io.EOF) || errors.Is(err, net.ErrClosed) {
-				return
-			}
 			return
 		}
 		buf = frame[:0]
+		s.wire.readFrames.Add(1)
+		select {
+		case tokens <- struct{}{}:
+		case <-writerDone:
+			return
+		}
+		s.wire.inflight.Add(1)
 		id, req, err := parseRequest(frame)
+		if err == nil {
+			err = s.gw.Submit(req, results)
+		}
 		if err != nil {
-			send(appendResponse(nil, Result{Tag: id, Err: err}))
-			continue
+			results <- Result{Tag: id, Err: err}
 		}
-		reply := make(chan Result, 1)
-		if err := s.gw.Submit(req, reply); err != nil {
-			send(appendResponse(nil, Result{Tag: id, Err: err}))
-			continue
+	}
+}
+
+// writeConn drains results, encodes each response in place into a
+// reused arena (header and payload appended back-to-back, no per-frame
+// allocation), and flushes the arena with a single conn.Write once no
+// more results are immediately ready or the batch reaches
+// wireFlushBytes. Tokens release at encode time: the response no longer
+// occupies a result slot, so the reader may admit the next request even
+// while this batch is still being written.
+func (s *Server) writeConn(conn net.Conn, results <-chan Result, tokens <-chan struct{}, readerDone <-chan struct{}) {
+	wbuf := make([]byte, 0, wireFlushBytes)
+	for {
+		var res Result
+		select {
+		case res = <-results:
+		case <-readerDone:
+			return
 		}
-		go func() {
-			select {
-			case res := <-reply:
-				send(appendResponse(nil, res))
-			case <-done:
+		wbuf = wbuf[:0]
+		frames := 0
+		for coalesce := true; coalesce; {
+			wbuf = appendResponseFrame(wbuf, res)
+			frames++
+			<-tokens // guaranteed: one token per in-flight result
+			s.wire.inflight.Add(-1)
+			if len(wbuf) >= wireFlushBytes {
+				break
 			}
-		}()
+			select {
+			case res = <-results:
+			default:
+				coalesce = false
+			}
+		}
+		if _, err := conn.Write(wbuf); err != nil {
+			conn.Close() // sheds the read loop
+			return
+		}
+		s.wire.writeBatches.Add(1)
+		s.wire.writeFrames.Add(uint64(frames))
+		s.wire.writeBytes.Add(uint64(len(wbuf)))
+		if cap(wbuf) > wireMaxRetained {
+			wbuf = make([]byte, 0, wireFlushBytes)
+		}
 	}
 }

@@ -20,6 +20,22 @@ fi
 echo '>> go vet ./...'
 go vet ./...
 
+# Lint pass: staticcheck and govulncheck when they are on PATH (CI's
+# lint job installs them; local environments without network fall back
+# to vet above, which always runs).
+if command -v staticcheck >/dev/null 2>&1; then
+    echo '>> staticcheck ./...'
+    staticcheck ./...
+else
+    echo '>> staticcheck not on PATH; skipping (CI lint job runs it)'
+fi
+if command -v govulncheck >/dev/null 2>&1; then
+    echo '>> govulncheck ./...'
+    govulncheck ./...
+else
+    echo '>> govulncheck not on PATH; skipping (CI lint job runs it)'
+fi
+
 echo '>> go build ./...'
 go build ./...
 
@@ -36,6 +52,14 @@ go test -race -run 'TestMapJobs|TestDriversParallelEquivalence' -short ./interna
 # a control-packet steady state (see DESIGN.md §9).
 echo '>> alloc budget (TestStepZeroAllocs)'
 go test -run 'TestStepZeroAllocs' ./internal/noc
+
+# Wire-path alloc gates: a 10k-frame replay must reuse one read buffer
+# per connection, and the end-to-end pipelined serve path must stay
+# within its per-request allocation budget (see DESIGN.md §10). These
+# run without -race on purpose — the -race pass above executes them as
+# skips; heap accounting is only stable uninstrumented.
+echo '>> alloc budget (serve wire path)'
+go test -run 'TestReadFrameSteadyStateAllocs|TestWireReplaySteadyStateAllocs' ./internal/serve
 
 echo '>> coverage (per package)'
 coverprofile=${COVERPROFILE:-/tmp/approxnoc-cover.out}
