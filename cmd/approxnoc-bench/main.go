@@ -18,6 +18,7 @@ import (
 	"runtime/pprof"
 	"strings"
 
+	"approxnoc/internal/cluster"
 	"approxnoc/internal/compress"
 	"approxnoc/internal/experiments"
 	"approxnoc/internal/serve"
@@ -31,7 +32,7 @@ var experimentOrder = []string{
 	"fig13", "fig14", "fig15", "fig16", "fig17", "area",
 	"ablation-overlap", "ablation-pmt", "ablation-window", "ablation-adaptive",
 	"extension-bdi", "ablation-matchunits", "ablation-router", "fig16-measured",
-	"gateway",
+	"gateway", "cluster",
 }
 
 func main() {
@@ -239,6 +240,12 @@ func run(id string, cfg experiments.Config) (any, string, error) {
 			return nil, "", err
 		}
 		return rows, formatGatewayGrid(rows), nil
+	case "cluster":
+		rows, err := clusterGrid()
+		if err != nil {
+			return nil, "", err
+		}
+		return rows, formatClusterGrid(rows), nil
 	default:
 		return nil, "", fmt.Errorf("unknown experiment %q", id)
 	}
@@ -307,6 +314,71 @@ func formatGatewayGrid(rows []gatewayRow) string {
 	for _, r := range rows {
 		fmt.Fprintf(&sb, "%6d %6d %6d %14.0f %12.2f %13.1f %8d\n",
 			r.Conns, r.Depth, r.Words, r.RecordsPerSec, r.PayloadMBPerSec, r.FramesPerBatch, r.Retries)
+	}
+	return sb.String()
+}
+
+// clusterRow is one cell of the cluster scaling grid: nodes x clients x
+// pipeline depth, same aggregate load shape against growing node
+// counts. Wall-clock measurements; not golden-pinned.
+type clusterRow struct {
+	Nodes           int     `json:"nodes"`
+	Conns           int     `json:"conns"`
+	Depth           int     `json:"depth"`
+	RecordsPerSec   float64 `json:"records_per_sec"`
+	PayloadMBPerSec float64 `json:"payload_mb_per_sec"`
+	OverloadRetries uint64  `json:"overload_retries"`
+	Failovers       uint64  `json:"failovers"`
+}
+
+// clusterGridRecords matches the gateway grid's per-cell amortization.
+const clusterGridRecords = 20000
+
+// clusterGrid measures cluster goodput across nodes x clients x depth
+// with per-node admission capacity pinned (one shard, small queue), the
+// BenchmarkCluster shape: scaling comes from overload waste recovered,
+// not CPU parallelism.
+func clusterGrid() ([]clusterRow, error) {
+	var rows []clusterRow
+	for _, nodes := range []int{1, 2, 4} {
+		for _, conns := range []int{1, 4} {
+			for _, depth := range []int{8, 64} {
+				res, err := cluster.RunLoopback(
+					cluster.Config{
+						Nodes: nodes,
+						Serve: serve.Config{
+							Nodes: 64, Scheme: compress.Baseline, ThresholdPct: 0,
+							Shards: 1, QueueDepth: 4,
+						},
+						View: cluster.ViewConfig{HeartbeatEvery: -1},
+					},
+					cluster.ClientConfig{OverloadBackoff: -1},
+					cluster.Loadgen{Nodes: nodes, Conns: conns, Depth: depth, Words: 16, Records: clusterGridRecords},
+				)
+				if err != nil {
+					return nil, fmt.Errorf("cluster grid nodes=%d conns=%d depth=%d: %w", nodes, conns, depth, err)
+				}
+				rows = append(rows, clusterRow{
+					Nodes: nodes, Conns: conns, Depth: depth,
+					RecordsPerSec:   res.RecordsPerSec,
+					PayloadMBPerSec: res.PayloadMBPerSec,
+					OverloadRetries: res.OverloadRetries,
+					Failovers:       res.Failovers,
+				})
+			}
+		}
+	}
+	return rows, nil
+}
+
+func formatClusterGrid(rows []clusterRow) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Cluster scaling — goodput under fixed per-node admission capacity (%d records per cell)\n", clusterGridRecords)
+	fmt.Fprintf(&sb, "%6s %6s %6s %14s %12s %10s %10s\n",
+		"nodes", "conns", "depth", "records/sec", "payload MB/s", "retries", "failovers")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%6d %6d %6d %14.0f %12.2f %10d %10d\n",
+			r.Nodes, r.Conns, r.Depth, r.RecordsPerSec, r.PayloadMBPerSec, r.OverloadRetries, r.Failovers)
 	}
 	return sb.String()
 }

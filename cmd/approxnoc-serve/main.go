@@ -24,6 +24,7 @@ import (
 	"sync"
 	"time"
 
+	"approxnoc/internal/cluster"
 	"approxnoc/internal/compress"
 	"approxnoc/internal/obs"
 	"approxnoc/internal/serve"
@@ -52,12 +53,15 @@ func main() {
 	depth := flag.Int("depth", 8, "pipelined requests in flight per connection for -loadgen")
 	words := flag.Int("words", 16, "block payload size in 32-bit words for -loadgen")
 	benchmark := flag.String("benchmark", "ssca2", "benchmark trace for -selftest")
-	records := flag.Int("records", 2000, "trace records for -selftest; total requests for -loadgen")
+	records := flag.Int("records", 2000, "trace records for -selftest; total requests for -loadgen, summed over all connections (split evenly across -conns, not per connection)")
 	clients := flag.Int("clients", 16, "concurrent TCP clients for -selftest")
 	trace := flag.String("trace", "", "replay an ANTR trace file instead of a synthetic workload (-selftest)")
 	seed := flag.Uint64("seed", 1, "seed for the synthetic workload (-selftest)")
 	debugAddr := flag.String("debug-addr", "", "serve /metrics, /trace and pprof on this address")
 	obsDemo := flag.Bool("obs-demo", false, "boot a gateway with the debug endpoint, scrape /metrics and /trace, verify the scrape parses, and exit")
+	nodeID := flag.String("node-id", "", "this node's cluster identity (required with -cluster-join)")
+	clusterJoin := flag.String("cluster-join", "", "announce this node to a cluster seed's /cluster/join endpoint (e.g. http://seed:9555)")
+	advertise := flag.String("advertise", "", "address to announce to the cluster seed (default: the -addr listen address)")
 	flag.Parse()
 
 	cfg := serve.Config{
@@ -76,7 +80,7 @@ func main() {
 		case *loadgen:
 			err = runLoadgen(cfg, serve.Loadgen{Conns: *conns, Depth: *depth, Words: *words, Records: *records})
 		default:
-			err = runServer(cfg, *addr, *debugAddr)
+			err = runServer(cfg, *addr, *debugAddr, *nodeID, *clusterJoin, *advertise)
 		}
 	}
 	if err != nil {
@@ -87,8 +91,13 @@ func main() {
 
 // runServer serves the gateway until the listener fails (e.g. the
 // process is killed). A non-empty debugAddr additionally serves the obs
-// debug endpoints next to the TCP protocol port.
-func runServer(cfg serve.Config, addr, debugAddr string) error {
+// debug endpoints next to the TCP protocol port; a non-empty seed URL
+// announces this node to a cluster's membership endpoint before
+// serving, so cluster clients start routing flows here.
+func runServer(cfg serve.Config, addr, debugAddr, nodeID, seedURL, advertise string) error {
+	if seedURL != "" && nodeID == "" {
+		return fmt.Errorf("-cluster-join requires -node-id")
+	}
 	var reg *obs.Registry
 	var tracer *obs.Tracer
 	if debugAddr != "" {
@@ -116,14 +125,44 @@ func runServer(cfg serve.Config, addr, debugAddr string) error {
 	eff := gw.Config()
 	fmt.Printf("serving %v gateway: %d nodes, %d shards (locked=%v), queue %d, batch %d, threshold %d%%\n",
 		eff.Scheme, eff.Nodes, eff.Shards, eff.Locked, eff.QueueDepth, eff.MaxBatch, eff.ThresholdPct)
-	fmt.Printf("listening on %s\n", addr)
-	return srv.ListenAndServe(addr)
+	srv.NodeID = nodeID
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("listening on %s\n", ln.Addr())
+	if seedURL != "" {
+		// Announce only once the listener is up, so the seed's prober
+		// can immediately confirm the node healthy. The advertised
+		// address must be one peers can dial; the bound address is only
+		// a sane default when -addr names a reachable interface.
+		if advertise == "" {
+			advertise = ln.Addr().String()
+		}
+		if err := cluster.JoinSeed(seedURL, nodeID, advertise); err != nil {
+			ln.Close()
+			return err
+		}
+		fmt.Printf("joined cluster at %s as %q advertising %s\n", seedURL, nodeID, advertise)
+	}
+	return srv.Serve(ln)
 }
 
 // runLoadgen measures loopback wire-path throughput: a gateway served on
 // an ephemeral port, lg.Conns TCP connections each keeping lg.Depth
-// requests in flight, lg.Records round trips total.
+// requests in flight, lg.Records round trips total (split across the
+// connections).
 func runLoadgen(cfg serve.Config, lg serve.Loadgen) error {
+	switch {
+	case lg.Conns < 1:
+		return fmt.Errorf("-conns must be >= 1, got %d", lg.Conns)
+	case lg.Depth < 1:
+		return fmt.Errorf("-depth must be >= 1, got %d", lg.Depth)
+	case lg.Words < 1:
+		return fmt.Errorf("-words must be >= 1, got %d", lg.Words)
+	case lg.Records < 1:
+		return fmt.Errorf("-records must be >= 1, got %d", lg.Records)
+	}
 	res, err := serve.RunLoopback(cfg, lg)
 	if err != nil {
 		return err

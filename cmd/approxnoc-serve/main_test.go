@@ -2,10 +2,14 @@ package main
 
 import (
 	"bytes"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
+	"time"
 
+	"approxnoc/internal/cluster"
 	"approxnoc/internal/compress"
 	"approxnoc/internal/serve"
 	"approxnoc/internal/sim"
@@ -89,5 +93,71 @@ func TestSelftestRejectsBadInputs(t *testing.T) {
 	cfg.Nodes = 1
 	if err := runSelftest(cfg, "ssca2", "", 10, 2, 1); err == nil {
 		t.Error("single-node selftest accepted")
+	}
+}
+
+// TestLoadgenValidatesKnobs: each load-shape knob must be >= 1, with
+// an error naming the flag (the -records semantics are
+// total-across-connections, so a zero anywhere means no load at all).
+func TestLoadgenValidatesKnobs(t *testing.T) {
+	cfg := selftestConfig(compress.Baseline, 0)
+	for _, tc := range []struct {
+		lg   serve.Loadgen
+		flag string
+	}{
+		{serve.Loadgen{Conns: 0, Depth: 1, Words: 1, Records: 1}, "-conns"},
+		{serve.Loadgen{Conns: 1, Depth: -2, Words: 1, Records: 1}, "-depth"},
+		{serve.Loadgen{Conns: 1, Depth: 1, Words: 0, Records: 1}, "-words"},
+		{serve.Loadgen{Conns: 1, Depth: 1, Words: 1, Records: 0}, "-records"},
+	} {
+		err := runLoadgen(cfg, tc.lg)
+		if err == nil || !strings.Contains(err.Error(), tc.flag) || !strings.Contains(err.Error(), ">= 1") {
+			t.Errorf("loadgen %+v: got %v, want a %s >= 1 error", tc.lg, err, tc.flag)
+		}
+	}
+}
+
+// TestRunServerClusterJoin: a gateway started with -cluster-join
+// announces itself to the seed's membership endpoint before serving.
+func TestRunServerClusterJoin(t *testing.T) {
+	if err := runServer(selftestConfig(compress.Baseline, 0), "127.0.0.1:0", "", "", "http://seed", ""); err == nil ||
+		!strings.Contains(err.Error(), "-node-id") {
+		t.Fatalf("cluster-join without node-id: got %v", err)
+	}
+
+	cl, err := cluster.New(cluster.Config{
+		Nodes: 1,
+		Serve: selftestConfig(compress.Baseline, 0),
+		View:  cluster.ViewConfig{HeartbeatEvery: -1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	seed := httptest.NewServer(cl.Handler())
+	defer seed.Close()
+
+	// runServer blocks in Serve; run it out of band and watch the seed's
+	// membership for the announcement. The goroutine dies with the test
+	// process.
+	go runServer(selftestConfig(compress.Baseline, 0), "127.0.0.1:0", "", "ext0", seed.URL, "")
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		var joined bool
+		for _, m := range cl.View().Members() {
+			if m.ID == "ext0" {
+				joined = true
+			}
+		}
+		if joined {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("node never joined the seed; members %+v", cl.View().Members())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if !cl.View().Ring().Has("ext0") {
+		t.Fatal("joined node missing from the seed's ring")
 	}
 }

@@ -1,0 +1,191 @@
+package cluster_test
+
+import (
+	"testing"
+
+	"approxnoc/internal/cluster"
+	"approxnoc/internal/serve"
+)
+
+// TestClusterFailoverMidReplay is the availability acceptance test: a
+// 4-node cluster loses one node abruptly in the middle of a replay,
+// and the cluster client still completes every call — rerouted calls
+// included — with threshold-0 delivery bit-identical to the input (and
+// therefore to a single-node run, which at threshold 0 is also exact).
+// The suite runs under -race in scripts/check.sh, so this doubles as
+// the concurrency shakedown of the failover path.
+func TestClusterFailoverMidReplay(t *testing.T) {
+	const (
+		records = 1500
+		depth   = 16
+		killAt  = records / 3
+	)
+	cl, err := cluster.New(testClusterConfig(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	client := cl.Client(cluster.ClientConfig{FailoverBudget: 6})
+	defer client.Close()
+
+	blocks := testBlocks(records, 16, 4242)
+	done := make(chan *cluster.Call, depth)
+	killed := false
+	sentAtKill := 0
+	nodesAfterKill := make(map[string]bool)
+	outstanding, sent, completed := 0, 0, 0
+	var failovers int
+	for completed < records {
+		for outstanding < depth && sent < records {
+			src := sent % testTiles
+			client.Go(serve.Request{
+				Src: src, Dst: (src + 5) % testTiles,
+				Block: blocks[sent], Tag: uint64(sent),
+			}, done)
+			outstanding++
+			sent++
+		}
+		call := <-done
+		outstanding--
+		completed++
+		if call.Err != nil {
+			t.Fatalf("call %d (node %s, %d failovers): %v",
+				call.Req.Tag, call.Node, call.Failovers, call.Err)
+		}
+		i := int(call.Res.Tag)
+		for w, word := range call.Res.Block.Words {
+			if word != blocks[i].Words[w] {
+				t.Fatalf("call %d word %d: delivered %#x != input %#x (node %s)",
+					i, w, word, blocks[i].Words[w], call.Node)
+			}
+		}
+		failovers += call.Failovers
+		if killed && i >= sentAtKill {
+			// Only calls issued after the kill: responses n2 already put
+			// on the wire before dying may legitimately drain later.
+			nodesAfterKill[call.Node] = true
+		}
+		if !killed && completed >= killAt {
+			if err := cl.Kill("n2"); err != nil {
+				t.Fatalf("kill: %v", err)
+			}
+			killed = true
+			sentAtKill = sent
+		}
+	}
+	if !killed {
+		t.Fatal("replay finished before the kill point")
+	}
+	if nodesAfterKill["n2"] {
+		t.Fatal("a call issued after the kill completed on the dead node")
+	}
+	if len(nodesAfterKill) < 2 {
+		t.Fatalf("post-kill traffic on %v — survivors not sharing the load", nodesAfterKill)
+	}
+	// The kill lands mid-pipeline, so at least the in-flight calls on
+	// the dead link must have failed over (unless the scheduler finished
+	// them all first, which the depth makes vanishingly unlikely — but
+	// only the client-observed failure is asserted deterministically).
+	if failovers == 0 && cl.View().Stats().Failovers == 0 {
+		t.Fatal("node killed mid-replay yet no failover was recorded")
+	}
+	if st, ok := cl.View().Members()[2].State, true; !ok || st != cluster.StateSuspect {
+		t.Fatalf("killed node state %v, want suspect (client-reported)", st)
+	}
+}
+
+// TestClusterFailoverBudgetExhausted: with every node dead, a call
+// surfaces a transport error once its failover budget is spent instead
+// of retrying forever.
+func TestClusterFailoverBudgetExhausted(t *testing.T) {
+	cl, err := cluster.New(testClusterConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	client := cl.Client(cluster.ClientConfig{FailoverBudget: 2})
+	defer client.Close()
+	for _, id := range cl.NodeIDs() {
+		if err := cl.Kill(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	blk := testBlocks(1, 8, 1)[0]
+	call := client.Go(serve.Request{Src: 0, Dst: 1, Block: blk}, nil)
+	<-call.Done
+	if call.Err == nil {
+		t.Fatal("call against a fully dead cluster succeeded")
+	}
+}
+
+// TestClusterOverloadRetry: a deliberately tiny per-node queue forces
+// ErrOverloaded under a deep pipeline; the cluster client absorbs the
+// rejections with retries and every record still completes.
+func TestClusterOverloadRetry(t *testing.T) {
+	cfg := testClusterConfig(1)
+	cfg.Serve.Shards = 1
+	cfg.Serve.QueueDepth = 2
+	cfg.Serve.MaxBatch = 1
+	cl, err := cluster.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	client := cl.Client(cluster.ClientConfig{})
+	defer client.Close()
+
+	const records = 300
+	blocks := testBlocks(records, 8, 11)
+	done := make(chan *cluster.Call, 64)
+	outstanding, sent, completed := 0, 0, 0
+	for completed < records {
+		for outstanding < 64 && sent < records {
+			src := sent % testTiles
+			client.Go(serve.Request{Src: src, Dst: (src + 1) % testTiles, Block: blocks[sent]}, done)
+			outstanding++
+			sent++
+		}
+		call := <-done
+		outstanding--
+		completed++
+		if call.Err != nil {
+			t.Fatalf("record %d: %v", completed, call.Err)
+		}
+	}
+	if cl.View().Stats().OverloadRetries == 0 {
+		t.Skip("queue never overflowed; overload path not exercised on this run")
+	}
+}
+
+// TestClusterClientCloseWithInflight: closing the client fails
+// outstanding calls with ErrClosed instead of leaking them.
+func TestClusterClientCloseWithInflight(t *testing.T) {
+	cfg := testClusterConfig(1)
+	cfg.Serve.Shards = 1
+	cfg.Serve.QueueDepth = 1
+	cl, err := cluster.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	client := cl.Client(cluster.ClientConfig{OverloadBackoff: -1})
+
+	blocks := testBlocks(64, 8, 5)
+	done := make(chan *cluster.Call, 64)
+	for i, blk := range blocks {
+		client.Go(serve.Request{Src: i % testTiles, Dst: (i + 1) % testTiles, Block: blk}, done)
+	}
+	client.Close()
+	for i := 0; i < len(blocks); i++ {
+		call := <-done
+		if call.Err == nil && call.Res.Block == nil {
+			t.Fatalf("call %d: completed with neither result nor error", i)
+		}
+	}
+	// A call issued after Close fails immediately.
+	call := client.Go(serve.Request{Src: 0, Dst: 1, Block: blocks[0]}, nil)
+	<-call.Done
+	if call.Err == nil {
+		t.Fatal("Go after Close succeeded")
+	}
+}

@@ -1,0 +1,192 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+)
+
+// memberJSON is the wire form of one membership entry on the seed
+// endpoint.
+type memberJSON struct {
+	ID         string `json:"id"`
+	Addr       string `json:"addr"`
+	State      string `json:"state"`
+	Generation uint64 `json:"generation"`
+	Requests   uint64 `json:"requests"`
+}
+
+// membersJSON is the GET /cluster/members response body.
+type membersJSON struct {
+	Generation uint64       `json:"generation"`
+	Members    []memberJSON `json:"members"`
+}
+
+// joinJSON is the POST /cluster/join request body.
+type joinJSON struct {
+	ID   string `json:"id"`
+	Addr string `json:"addr"`
+}
+
+// stateFromString parses a State name as rendered by State.String.
+func stateFromString(s string) (State, bool) {
+	for st := StateJoining; st <= StateLeft; st++ {
+		if st.String() == s {
+			return st, true
+		}
+	}
+	return 0, false
+}
+
+// Handler serves a view's membership endpoint:
+//
+//	GET  /cluster/members  — the membership table and its generation
+//	POST /cluster/join     — admit a node ({"id": ..., "addr": ...})
+//
+// Mount it next to the obs debug handler so one -debug-addr exposes
+// metrics and membership together. DialSeed on a remote client reads
+// GET /cluster/members to bootstrap its view; approxnoc-serve
+// -cluster-join posts to /cluster/join. Joins land in the joining
+// state; the view's prober promotes reachable nodes to healthy.
+func (v *View) Handler() http.Handler {
+	mux := http.NewServeMux()
+	v.handleMembership(mux)
+	return mux
+}
+
+// handleMembership registers the view-level endpoints on mux.
+func (v *View) handleMembership(mux *http.ServeMux) {
+	mux.HandleFunc("/cluster/members", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(w, "GET only", http.StatusMethodNotAllowed)
+			return
+		}
+		writeMembers(w, v)
+	})
+	mux.HandleFunc("/cluster/join", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST only", http.StatusMethodNotAllowed)
+			return
+		}
+		var req joinJSON
+		if err := json.NewDecoder(io.LimitReader(r.Body, 1<<16)).Decode(&req); err != nil {
+			http.Error(w, "bad join body: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		if req.ID == "" || req.Addr == "" {
+			http.Error(w, "join needs id and addr", http.StatusBadRequest)
+			return
+		}
+		if err := v.Join(req.ID, req.Addr, StateJoining); err != nil {
+			http.Error(w, err.Error(), http.StatusConflict)
+			return
+		}
+		writeMembers(w, v)
+	})
+}
+
+// Handler serves the cluster's membership endpoint: the view's
+// endpoints plus POST /cluster/drain (?id=n2), which gracefully
+// retires a node this process owns.
+func (c *Cluster) Handler() http.Handler {
+	mux := http.NewServeMux()
+	c.view.handleMembership(mux)
+	mux.HandleFunc("/cluster/drain", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST only", http.StatusMethodNotAllowed)
+			return
+		}
+		id := r.URL.Query().Get("id")
+		if id == "" {
+			http.Error(w, "drain needs ?id=", http.StatusBadRequest)
+			return
+		}
+		if err := c.Drain(id); err != nil {
+			http.Error(w, err.Error(), http.StatusConflict)
+			return
+		}
+		writeMembers(w, c.view)
+	})
+	return mux
+}
+
+// writeMembers renders a view's membership table as JSON.
+func writeMembers(w http.ResponseWriter, v *View) {
+	out := membersJSON{Generation: v.Generation()}
+	for _, m := range v.Members() {
+		out.Members = append(out.Members, memberJSON{
+			ID: m.ID, Addr: m.Addr, State: m.State.String(),
+			Generation: m.Generation, Requests: m.Requests,
+		})
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(out)
+}
+
+// DialSeed bootstraps a View from a seed's membership endpoint: it
+// fetches GET <seedURL>/cluster/members and joins every reported member
+// at its reported state, then starts the prober per cfg to keep the
+// view current from there.
+func DialSeed(seedURL string, cfg ViewConfig) (*View, error) {
+	resp, err := http.Get(seedURL + "/cluster/members")
+	if err != nil {
+		return nil, fmt.Errorf("cluster: seed fetch: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("cluster: seed fetch: %s", resp.Status)
+	}
+	var body membersJSON
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&body); err != nil {
+		return nil, fmt.Errorf("cluster: seed decode: %w", err)
+	}
+	if len(body.Members) == 0 {
+		return nil, fmt.Errorf("cluster: seed has no members")
+	}
+	v := NewView(cfg)
+	for _, m := range body.Members {
+		st, ok := stateFromString(m.State)
+		if !ok {
+			st = StateJoining
+		}
+		if err := v.Join(m.ID, m.Addr, st); err != nil {
+			v.Close()
+			return nil, err
+		}
+	}
+	return v, nil
+}
+
+// JoinSeed announces a node to a seed's membership endpoint (the
+// client side of POST /cluster/join), retrying briefly so a node
+// racing its seed's startup still registers.
+func JoinSeed(seedURL, id, addr string) error {
+	body, err := json.Marshal(joinJSON{ID: id, Addr: addr})
+	if err != nil {
+		return err
+	}
+	var last error
+	for attempt := 0; attempt < 5; attempt++ {
+		if attempt > 0 {
+			time.Sleep(time.Duration(attempt) * 100 * time.Millisecond)
+		}
+		resp, err := http.Post(seedURL+"/cluster/join", "application/json", bytes.NewReader(body))
+		if err != nil {
+			last = err
+			continue
+		}
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<16))
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusOK {
+			return nil
+		}
+		last = fmt.Errorf("cluster: join rejected: %s", resp.Status)
+		if resp.StatusCode == http.StatusConflict {
+			return last
+		}
+	}
+	return fmt.Errorf("cluster: join %s: %w", seedURL, last)
+}

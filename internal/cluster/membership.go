@@ -1,0 +1,205 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// State is a member's position in the node lifecycle.
+type State int32
+
+const (
+	// StateJoining marks a node admitted to the table but not yet
+	// probed healthy; it takes ring ownership but is routed to only as
+	// a last resort.
+	StateJoining State = iota
+	// StateHealthy marks a node passing heartbeats; the normal routing
+	// target.
+	StateHealthy
+	// StateSuspect marks a node that failed a heartbeat or dropped a
+	// client connection; it keeps its ring ownership (so a recovery
+	// does not remap flows) but routing prefers healthy nodes.
+	StateSuspect
+	// StateDown marks a node past the failure threshold; it loses ring
+	// ownership until it recovers.
+	StateDown
+	// StateDraining marks a node being retired gracefully: off the
+	// ring, finishing in-flight work.
+	StateDraining
+	// StateLeft marks a retired node; kept in the table for the
+	// generation history.
+	StateLeft
+)
+
+// String renders the state name.
+func (s State) String() string {
+	switch s {
+	case StateJoining:
+		return "joining"
+	case StateHealthy:
+		return "healthy"
+	case StateSuspect:
+		return "suspect"
+	case StateDown:
+		return "down"
+	case StateDraining:
+		return "draining"
+	case StateLeft:
+		return "left"
+	}
+	return fmt.Sprintf("state(%d)", int32(s))
+}
+
+// inRing reports whether a member in this state owns ring points.
+// Suspect nodes stay on the ring — suspicion is usually transient, and
+// keeping ownership means a recovered node gets its flows (and their
+// warmed dictionary state) back without a remap.
+func (s State) inRing() bool {
+	return s == StateJoining || s == StateHealthy || s == StateSuspect
+}
+
+// Member is one node's entry in the membership table.
+type Member struct {
+	// ID is the node identity (serve.Server.NodeID); Addr its dial
+	// address.
+	ID, Addr string
+	// State is the lifecycle state.
+	State State
+	// Generation counts this member's state transitions, starting at 1
+	// on join. A node that leaves and rejoins keeps incrementing — a
+	// peer comparing generations can always tell which view is newer.
+	Generation uint64
+	// Requests counts client requests routed to this node through a
+	// View.
+	Requests uint64
+}
+
+// member is the live, mutable entry behind Member snapshots.
+type member struct {
+	id, addr string
+	state    State
+	gen      uint64
+	fails    int // consecutive probe failures
+	requests atomic.Uint64
+}
+
+// Membership is the cluster's node table: who exists, where, in what
+// lifecycle state, at which generation. All methods are safe for
+// concurrent use. State changes bump both the member's generation and
+// the table generation, so "anything changed?" is one atomic load.
+type Membership struct {
+	mu         sync.Mutex
+	members    map[string]*member
+	generation atomic.Uint64
+}
+
+// NewMembership returns an empty table.
+func NewMembership() *Membership {
+	return &Membership{members: make(map[string]*member)}
+}
+
+// Generation returns the table generation: the count of joins and state
+// transitions applied so far.
+func (m *Membership) Generation() uint64 { return m.generation.Load() }
+
+// Join adds a node in state, or re-admits a left/down node at the same
+// id (bumping its generation and updating its address). Joining an id
+// that is currently active fails.
+func (m *Membership) Join(id, addr string, state State) error {
+	if id == "" {
+		return fmt.Errorf("cluster: join needs a node id")
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if mb, ok := m.members[id]; ok {
+		if mb.state != StateLeft && mb.state != StateDown {
+			return fmt.Errorf("cluster: node %q already a member (state %v)", id, mb.state)
+		}
+		mb.addr, mb.state, mb.fails = addr, state, 0
+		mb.gen++
+		m.generation.Add(1)
+		return nil
+	}
+	m.members[id] = &member{id: id, addr: addr, state: state, gen: 1}
+	m.generation.Add(1)
+	return nil
+}
+
+// SetState moves a member to state, reporting whether anything changed
+// (unknown ids and no-op transitions return false). A transition resets
+// the probe-failure count.
+func (m *Membership) SetState(id string, state State) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	mb, ok := m.members[id]
+	if !ok || mb.state == state {
+		return false
+	}
+	mb.state = state
+	mb.fails = 0
+	mb.gen++
+	m.generation.Add(1)
+	return true
+}
+
+// State returns a member's current state.
+func (m *Membership) State(id string) (State, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	mb, ok := m.members[id]
+	if !ok {
+		return 0, false
+	}
+	return mb.state, true
+}
+
+// Addr returns a member's dial address.
+func (m *Membership) Addr(id string) (string, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	mb, ok := m.members[id]
+	if !ok {
+		return "", false
+	}
+	return mb.addr, true
+}
+
+// CountRequest attributes one routed request to a member.
+func (m *Membership) CountRequest(id string) {
+	m.mu.Lock()
+	mb := m.members[id]
+	m.mu.Unlock()
+	if mb != nil {
+		mb.requests.Add(1)
+	}
+}
+
+// probeFailed records a failed heartbeat and returns the member's new
+// consecutive-failure count (0 for unknown ids).
+func (m *Membership) probeFailed(id string) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	mb, ok := m.members[id]
+	if !ok {
+		return 0
+	}
+	mb.fails++
+	return mb.fails
+}
+
+// Snapshot returns the table sorted by id.
+func (m *Membership) Snapshot() []Member {
+	m.mu.Lock()
+	out := make([]Member, 0, len(m.members))
+	for _, mb := range m.members {
+		out = append(out, Member{
+			ID: mb.id, Addr: mb.addr, State: mb.state,
+			Generation: mb.gen, Requests: mb.requests.Load(),
+		})
+	}
+	m.mu.Unlock()
+	sort.Slice(out, func(a, b int) bool { return out[a].ID < out[b].ID })
+	return out
+}

@@ -217,7 +217,7 @@ func (c *Client) writeLoop() {
 			if err != nil {
 				c.wmu.Unlock()
 				c.conn.Close() // sheds the read loop, which fails pending
-				c.fail(fmt.Errorf("serve: write: %w", err))
+				c.fail(fmt.Errorf("%w: write: %w", ErrTransport, err))
 				return
 			}
 		}
@@ -253,7 +253,7 @@ func (c *Client) readLoop() {
 			call.deliver()
 		}
 	}
-	c.fail(fmt.Errorf("serve: connection lost: %w", err))
+	c.fail(fmt.Errorf("%w: connection lost: %w", ErrTransport, err))
 }
 
 // fail records the first transport error, wakes every blocked producer,

@@ -24,7 +24,10 @@ type Loadgen struct {
 	Depth int
 	// Words is the block payload size in 32-bit words (0 means 16).
 	Words int
-	// Records is the total number of requests to move (0 means 10000).
+	// Records is the total number of requests to move summed over all
+	// connections, not per connection: Run splits it evenly across
+	// Conns, spreading any remainder one extra request at a time (0
+	// means 10000).
 	Records int
 }
 

@@ -6,6 +6,7 @@ import (
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 const (
@@ -43,6 +44,7 @@ type WireStats struct {
 type wireStats struct {
 	conns        atomic.Int64
 	inflight     atomic.Int64
+	writing      atomic.Int64 // connection writers inside conn.Write
 	readFrames   atomic.Uint64
 	writeBatches atomic.Uint64
 	writeFrames  atomic.Uint64
@@ -81,13 +83,19 @@ type Server struct {
 	// 1024). Set it before Serve; it must not change afterwards.
 	MaxInflight int
 
+	// NodeID is this server's identity when it runs as a cluster node
+	// (internal/cluster keys membership, ring placement, and metric
+	// labels by it). Set it before Serve; empty means standalone.
+	NodeID string
+
 	wire wireStats
 
-	mu     sync.Mutex
-	ln     net.Listener
-	conns  map[net.Conn]struct{}
-	closed bool
-	wg     sync.WaitGroup
+	mu       sync.Mutex
+	ln       net.Listener
+	conns    map[net.Conn]struct{}
+	closed   bool
+	draining bool
+	wg       sync.WaitGroup
 }
 
 // NewServer wraps a gateway. The server does not own the gateway: Close
@@ -136,9 +144,9 @@ func (s *Server) Serve(ln net.Listener) error {
 		conn, err := ln.Accept()
 		if err != nil {
 			s.mu.Lock()
-			closed := s.closed
+			stopped := s.closed || s.draining
 			s.mu.Unlock()
-			if closed {
+			if stopped {
 				return nil
 			}
 			return fmt.Errorf("serve: %w", err)
@@ -153,6 +161,48 @@ func (s *Server) Serve(ln net.Listener) error {
 		s.wg.Add(1)
 		s.mu.Unlock()
 		go s.handle(conn)
+	}
+}
+
+// Draining reports whether Drain has begun.
+func (s *Server) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// Drain retires the server gracefully: it stops the listener so no new
+// connections arrive, then waits until the pipeline is empty — no
+// requests between a read loop and its write loop, and no response
+// batch mid-conn.Write — so every admitted request has been answered on
+// the wire. Existing connections stay open (peers not yet aware of the
+// drain may still submit, which restarts the wait), so the caller is
+// expected to stop routing traffic here first — internal/cluster
+// removes the node from its ring before draining — and to Close once
+// Drain returns. Returns an error when the pipeline has not settled
+// within timeout.
+func (s *Server) Drain(timeout time.Duration) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrClosed
+	}
+	s.draining = true
+	ln := s.ln
+	s.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	deadline := time.Now().Add(timeout)
+	for {
+		if s.wire.inflight.Load() == 0 && s.wire.writing.Load() == 0 {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("serve: drain timed out after %v with %d requests in flight",
+				timeout, s.wire.inflight.Load())
+		}
+		time.Sleep(time.Millisecond)
 	}
 }
 
@@ -288,7 +338,10 @@ func (s *Server) writeConn(conn net.Conn, results <-chan Result, tokens <-chan s
 				coalesce = false
 			}
 		}
-		if _, err := conn.Write(wbuf); err != nil {
+		s.wire.writing.Add(1)
+		_, err := conn.Write(wbuf)
+		s.wire.writing.Add(-1)
+		if err != nil {
 			conn.Close() // sheds the read loop
 			return
 		}

@@ -3,7 +3,8 @@
 # snapshot (BENCH_<pr>.json). Two passes feed cmd/benchjson:
 #
 #   1. kernel microbenchmarks (internal/noc, internal/obs, plus the
-#      internal/serve gateway wire family) at the default 1s benchtime,
+#      internal/serve gateway wire family and the internal/cluster
+#      scaling grid) at the default 1s benchtime,
 #      so ns/op and allocs/op are stable enough for the regression gate;
 #   2. the figure suite (root package) at FIG_BENCHTIME (default 1x) —
 #      these run whole experiments per iteration, so one iteration is
@@ -16,7 +17,7 @@
 set -eu
 cd "$(dirname "$0")/.."
 
-out=${1:-BENCH_6.json}
+out=${1:-BENCH_7.json}
 fig_benchtime=${FIG_BENCHTIME:-1x}
 kernel_benchtime=${KERNEL_BENCHTIME:-1s}
 tmp=$(mktemp)
@@ -24,7 +25,7 @@ trap 'rm -f "$tmp"' EXIT
 
 echo ">> kernel benchmarks (benchtime $kernel_benchtime)"
 go test -bench . -benchmem -benchtime "$kernel_benchtime" -run '^$' \
-    ./internal/noc ./internal/obs ./internal/serve | tee -a "$tmp"
+    ./internal/noc ./internal/obs ./internal/serve ./internal/cluster | tee -a "$tmp"
 
 if [ "${SKIP_FIGURES:-0}" != "1" ]; then
     echo ">> figure suite (benchtime $fig_benchtime)"

@@ -48,6 +48,13 @@ go test -race -short ./...
 echo '>> go test -race (parallel runner)'
 go test -race -run 'TestMapJobs|TestDriversParallelEquivalence' -short ./internal/experiments
 
+# Cluster concurrency gate: the full internal/cluster suite under -race,
+# without -short, so the failover replay (node killed mid-stream while
+# clients retry across the ring) always runs instrumented — it is the
+# test most likely to catch a pending-map or membership race.
+echo '>> go test -race (cluster failover)'
+go test -race ./internal/cluster
+
 # Alloc-budget gate: the simulator hot path must stay allocation-free in
 # a control-packet steady state (see DESIGN.md §9).
 echo '>> alloc budget (TestStepZeroAllocs)'
