@@ -47,6 +47,7 @@ func main() {
 	batch := flag.Int("batch", 0, "max coalesced batch per dispatch (0 = default)")
 	vnodes := flag.Int("vnodes", 0, "virtual nodes per member on the hash ring (0 = default)")
 	heartbeat := flag.Duration("heartbeat", 0, "health-probe interval (0 = default, negative disables)")
+	warmStart := flag.Bool("warm-start", false, "seed nodes added after launch with their ring neighbor's dictionary image")
 	loadgen := flag.Bool("loadgen", false, "measure cluster throughput and exit")
 	conns := flag.Int("conns", 4, "concurrent cluster clients for -loadgen")
 	depth := flag.Int("depth", 8, "calls in flight per client for -loadgen")
@@ -59,7 +60,7 @@ func main() {
 		nodes: *nodes, peers: *peers, seedURL: *seedURL,
 		schemeName: *schemeName, threshold: *threshold, endpoints: *endpoints,
 		shards: *shards, queue: *queue, batch: *batch,
-		vnodes: *vnodes, heartbeat: *heartbeat,
+		vnodes: *vnodes, heartbeat: *heartbeat, warmStart: *warmStart,
 		loadgen: *loadgen, conns: *conns, depth: *depth, words: *words, records: *records,
 		debugAddr: *debugAddr,
 	}, os.Stdout, nil); err != nil {
@@ -79,6 +80,7 @@ type options struct {
 	shards, queue, batch int
 	vnodes               int
 	heartbeat            time.Duration
+	warmStart            bool
 	loadgen              bool
 	conns, depth, words  int
 	records              int
@@ -138,7 +140,8 @@ func run(o options, out io.Writer, ready chan<- string) error {
 			Nodes: o.endpoints, Scheme: scheme, ThresholdPct: o.threshold,
 			Shards: o.shards, QueueDepth: o.queue, MaxBatch: o.batch,
 		},
-		View: vcfg,
+		View:      vcfg,
+		WarmStart: o.warmStart,
 	}
 	if o.loadgen {
 		res, err := cluster.RunLoopback(clcfg, cluster.ClientConfig{}, lg)
@@ -172,6 +175,7 @@ func serveDebug(addr string, v *cluster.View, members http.Handler, out io.Write
 	v.RegisterMetrics(reg)
 	mux := http.NewServeMux()
 	mux.Handle("/cluster/", members)
+	mux.Handle("/dict/", members)
 	mux.Handle("/", obs.Handler(reg, nil))
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {

@@ -76,6 +76,11 @@ func (a *AVCL) Shift() uint { return a.shift }
 // Stats returns the operation counters.
 func (a *AVCL) Stats() Stats { return a.stats }
 
+// RestoreStats overwrites the operation counters — used when a codec
+// snapshot is restored so energy accounting continues from the
+// captured totals instead of resetting to zero.
+func (a *AVCL) RestoreStats(s Stats) { a.stats = s }
+
 // ErrorRange returns the largest absolute deviation allowed for a
 // magnitude m under the threshold: m >> shift.
 func (a *AVCL) ErrorRange(m uint32) uint32 {

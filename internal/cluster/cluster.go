@@ -47,6 +47,10 @@ type Config struct {
 	// MaxInflight is each node server's per-connection pipeline bound
 	// (0 means the serve default).
 	MaxInflight int
+	// WarmStart seeds every node added after launch with the dictionary
+	// image of its ring-adjacent donor — the member whose flows it
+	// inherits — so it starts from learned PMTs instead of empty ones.
+	WarmStart bool
 }
 
 // node is one in-process gateway node.
@@ -135,6 +139,11 @@ func (c *Cluster) AddNode() (string, error) {
 	}
 	c.nodes[id] = n
 	c.mu.Unlock()
+	if c.cfg.WarmStart {
+		// Before the ring learns about the newcomer: its adjacent arc
+		// owner on the pre-join ring is the donor it inherits flows from.
+		c.warmStart(n)
+	}
 	if err := c.view.Join(id, n.addr, StateHealthy); err != nil {
 		c.stopNode(n)
 		return "", err

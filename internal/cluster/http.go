@@ -89,8 +89,10 @@ func (v *View) handleMembership(mux *http.ServeMux) {
 }
 
 // Handler serves the cluster's membership endpoint: the view's
-// endpoints plus POST /cluster/drain (?id=n2), which gracefully
-// retires a node this process owns.
+// endpoints plus the node-management verbs for nodes this process owns —
+// POST /cluster/drain (?id=n2) gracefully retires one, GET
+// /dict/snapshot (?id=n2) downloads its dictionary image, and POST
+// /dict/restore (?id=n2) uploads one into it.
 func (c *Cluster) Handler() http.Handler {
 	mux := http.NewServeMux()
 	c.view.handleMembership(mux)
@@ -109,6 +111,50 @@ func (c *Cluster) Handler() http.Handler {
 			return
 		}
 		writeMembers(w, c.view)
+	})
+	mux.HandleFunc("/dict/snapshot", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(w, "GET only", http.StatusMethodNotAllowed)
+			return
+		}
+		id := r.URL.Query().Get("id")
+		if id == "" {
+			http.Error(w, "snapshot needs ?id=", http.StatusBadRequest)
+			return
+		}
+		snap, err := c.SnapshotDicts(id)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusConflict)
+			return
+		}
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.Write(snap)
+	})
+	mux.HandleFunc("/dict/restore", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST only", http.StatusMethodNotAllowed)
+			return
+		}
+		id := r.URL.Query().Get("id")
+		if id == "" {
+			http.Error(w, "restore needs ?id=", http.StatusBadRequest)
+			return
+		}
+		data, err := io.ReadAll(io.LimitReader(r.Body, 64<<20))
+		if err != nil {
+			http.Error(w, "read body: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		adopted, kept, err := c.RestoreDicts(id, data)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusUnprocessableEntity)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(struct {
+			Adopted int `json:"adopted"`
+			Kept    int `json:"kept"`
+		}{adopted, kept})
 	})
 	return mux
 }

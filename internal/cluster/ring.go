@@ -134,6 +134,24 @@ func (r *Ring) successor(h uint64) int {
 	return i
 }
 
+// Adjacent returns the node owning the ring arc next to id's first
+// virtual point, skipping id's own points: on a ring without id it is
+// the member whose flows a joining id would inherit (the warm-start
+// donor); on a ring with id it is the successor that adopts id's arc
+// when id leaves. False when no other node exists.
+func (r *Ring) Adjacent(id string) (string, bool) {
+	if len(r.points) == 0 {
+		return "", false
+	}
+	start := r.successor(pointHash(id, 0))
+	for i := 0; i < len(r.points); i++ {
+		if n := r.points[(start+i)%len(r.points)].node; n != id {
+			return n, true
+		}
+	}
+	return "", false
+}
+
 // Walk visits the distinct nodes responsible for flow (src, dst) in
 // ring order — the owner first, then each successive failover
 // candidate — until accept returns true (Walk then returns that node)

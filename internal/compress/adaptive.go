@@ -65,6 +65,10 @@ func NewAdaptive(inner Codec, cfg AdaptiveConfig) (*Adaptive, error) {
 // Scheme reports the wrapped scheme.
 func (a *Adaptive) Scheme() Scheme { return a.inner.Scheme() }
 
+// Unwrap exposes the wrapped codec so capability probes (dictionary
+// introspection, snapshotting) can look through the controller.
+func (a *Adaptive) Unwrap() Codec { return a.inner }
+
 // On reports whether compression is currently enabled.
 func (a *Adaptive) On() bool { return a.on }
 

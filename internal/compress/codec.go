@@ -176,6 +176,12 @@ type OpStats struct {
 	AVCLMaskHits      uint64 // AVCL masks with at least one don't-care bit
 	AVCLClips         uint64 // float masks clipped at the mantissa boundary
 	AVCLBypasses      uint64 // special floats bypassing approximation
+
+	// Dictionary GC lifecycle counters (the dict_gc_* metric families).
+	GCEpochs            uint64 // decoder aging epochs completed
+	GCAgeEvictions      uint64 // entries reclaimed by cold-pattern age-out
+	GCPressureEvictions uint64 // entries reclaimed by capacity-pressure sweeps
+	GCBlockedReclaims   uint64 // reclaims deferred by the pending-eviction cap
 }
 
 // Add accumulates other into s.
@@ -200,6 +206,10 @@ func (s *OpStats) Add(o OpStats) {
 	s.AVCLMaskHits += o.AVCLMaskHits
 	s.AVCLClips += o.AVCLClips
 	s.AVCLBypasses += o.AVCLBypasses
+	s.GCEpochs += o.GCEpochs
+	s.GCAgeEvictions += o.GCAgeEvictions
+	s.GCPressureEvictions += o.GCPressureEvictions
+	s.GCBlockedReclaims += o.GCBlockedReclaims
 }
 
 // CompressionRatio returns BitsIn / BitsOut (1.0 when nothing flowed).

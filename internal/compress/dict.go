@@ -23,6 +23,23 @@ type DictConfig struct {
 	PromoteThreshold int
 	// PendingCap bounds concurrent evictions awaiting invalidate acks.
 	PendingCap int
+	// AgingPeriod is how many decoded words make one decoder aging
+	// epoch (frequency halving plus any configured GC pass). 0 selects
+	// the default of 4096.
+	AgingPeriod int
+	// GCAgeOutEpochs reclaims decoder entries that stay unreferenced
+	// (frequency at zero after halving) for this many consecutive aging
+	// epochs, through the same invalidate/ack handshake as a
+	// promotion eviction. 0 disables cold-pattern age-out.
+	GCAgeOutEpochs int
+	// GCPressureSweep bounds how many of the coldest decoder entries a
+	// capacity-pressure sweep may reclaim per aging epoch. 0 disables
+	// the sweep.
+	GCPressureSweep int
+	// GCPressureMin is how many promotions the cold-entry guard must
+	// block within one aging epoch before the sweep fires. 0 selects
+	// the default of 8 when GCPressureSweep is enabled.
+	GCPressureMin int
 }
 
 // DefaultDictConfig returns the Table 1 dictionary parameters for an
@@ -50,6 +67,19 @@ func (c *DictConfig) validate() error {
 	}
 	if c.PendingCap <= 0 {
 		c.PendingCap = 4
+	}
+	if c.AgingPeriod < 0 {
+		return fmt.Errorf("compress: dict config needs AgingPeriod >= 0, got %d", c.AgingPeriod)
+	}
+	if c.AgingPeriod == 0 {
+		c.AgingPeriod = agingPeriod
+	}
+	if c.GCAgeOutEpochs < 0 || c.GCPressureSweep < 0 || c.GCPressureMin < 0 {
+		return fmt.Errorf("compress: dict GC knobs must be >= 0 (age-out %d, sweep %d, min %d)",
+			c.GCAgeOutEpochs, c.GCPressureSweep, c.GCPressureMin)
+	}
+	if c.GCPressureSweep > 0 && c.GCPressureMin == 0 {
+		c.GCPressureMin = 8
 	}
 	return nil
 }
@@ -139,13 +169,15 @@ type decEntry struct {
 }
 
 // pendingInstall tracks an eviction awaiting invalidate acks before the
-// slot can be reused for a newly promoted pattern.
+// slot can be reused for a newly promoted pattern — or, for GC
+// reclaims, simply freed.
 type pendingInstall struct {
 	slot      int
 	pattern   value.Word
 	dtype     value.DataType
 	requester int // source node that triggered the promotion
 	awaiting  map[int]bool
+	gc        bool // reclaim only: free the slot, install nothing
 }
 
 // dictCodec implements DI-COMP (avcl == nil) and DI-VAXX (avcl != nil).
@@ -167,6 +199,17 @@ type dictCodec struct {
 	dec     []decEntry
 	cands   *candidateTable
 	pending []pendingInstall
+
+	// GC bookkeeping: consecutive cold epochs per decoder slot and the
+	// promotions the cold-entry guard blocked since the last epoch.
+	idle            []uint32
+	blockedPromotes uint64
+
+	// gen is the dictionary state version: it advances on every table
+	// mutation (installs, updates, invalidations, evictions, GC
+	// reclaims, aging epochs) and tags snapshots so replication can
+	// tell stale state from fresh (see DictSnapshotter).
+	gen uint64
 
 	stats          OpStats
 	decodeMismatch uint64
@@ -227,6 +270,7 @@ func newDict(s Scheme, node int, cfg DictConfig, a *approx.AVCL, b quality.Budge
 		encDest: make([][]destRef, cfg.Entries),
 		dec:     make([]decEntry, cfg.Entries),
 		cands:   newCandidateTable(cfg.CandidateCap),
+		idle:    make([]uint32, cfg.Entries),
 	}
 	for i := range d.encDest {
 		d.encDest[i] = make([]destRef, cfg.Nodes)
@@ -376,8 +420,9 @@ func (d *dictCodec) Decompress(src int, enc *Encoded) (*value.Block, []Notificat
 	d.stats.BlocksDecoded++
 	before := d.stats.WordsDecoded
 	d.stats.WordsDecoded += uint64(enc.NumWords)
-	if before/agingPeriod != d.stats.WordsDecoded/agingPeriod {
-		d.ageFrequencies()
+	period := uint64(d.cfg.AgingPeriod)
+	if before/period != d.stats.WordsDecoded/period {
+		out = append(out, d.runEpoch()...)
 	}
 	d.stats.NotificationsSent += uint64(len(out))
 	return blk, out
@@ -390,6 +435,95 @@ func (d *dictCodec) ageFrequencies() {
 	for slot := range d.dec {
 		d.dec[slot].freq /= 2
 	}
+}
+
+// runEpoch is one decoder aging epoch: the frequency halving that was
+// always there, plus the configured GC policies. It returns the
+// invalidate fanout any reclaims produced; the caller folds those into
+// the Decompress notification batch.
+func (d *dictCodec) runEpoch() []Notification {
+	d.stats.GCEpochs++
+	d.gen++
+	d.ageFrequencies()
+	var out []Notification
+
+	// Cold-pattern age-out: entries whose halved frequency sits at zero
+	// accumulate idle epochs; at the configured bound they are reclaimed
+	// through the invalidate/ack handshake.
+	for slot := range d.dec {
+		e := &d.dec[slot]
+		if !e.valid || e.locked || e.freq > 0 {
+			d.idle[slot] = 0
+			continue
+		}
+		d.idle[slot]++
+		if d.cfg.GCAgeOutEpochs > 0 && d.idle[slot] >= uint32(d.cfg.GCAgeOutEpochs) {
+			out = append(out, d.reclaim(slot, false)...)
+		}
+	}
+
+	// Capacity-pressure sweep: when the cold-entry guard blocked enough
+	// promotions this epoch, free up to GCPressureSweep of the coldest
+	// unlocked entries so new candidates have somewhere to land.
+	if d.cfg.GCPressureSweep > 0 && d.blockedPromotes >= uint64(d.cfg.GCPressureMin) {
+		for n := 0; n < d.cfg.GCPressureSweep; n++ {
+			victim, best, found := 0, ^uint64(0), false
+			for slot := range d.dec {
+				e := &d.dec[slot]
+				if e.valid && !e.locked && e.freq < best {
+					victim, best, found = slot, e.freq, true
+				}
+			}
+			if !found {
+				break
+			}
+			out = append(out, d.reclaim(victim, true)...)
+		}
+	}
+	d.blockedPromotes = 0
+	return out
+}
+
+// reclaim frees decoder slot through the same invalidate/ack handshake a
+// promotion eviction uses, so encoder PMTs never reference a freed row.
+// Slots nobody mapped are freed immediately; otherwise the slot locks
+// behind a gc pendingInstall until every encoder acks. When the pending
+// table is full the reclaim is deferred to a later epoch.
+func (d *dictCodec) reclaim(slot int, pressure bool) []Notification {
+	e := &d.dec[slot]
+	if !e.valid || e.locked {
+		return nil
+	}
+	if len(d.pending) >= d.cfg.PendingCap {
+		d.stats.GCBlockedReclaims++
+		return nil
+	}
+	if pressure {
+		d.stats.GCPressureEvictions++
+	} else {
+		d.stats.GCAgeEvictions++
+	}
+	d.idle[slot] = 0
+	awaiting := make(map[int]bool)
+	var out []Notification
+	for encNode, set := range e.validBits {
+		if set {
+			awaiting[encNode] = true
+			out = append(out, Notification{
+				From: d.node, To: encNode, Kind: NotifInvalidate,
+				Pattern: e.pattern, DType: e.dtype, Index: slot,
+			})
+		}
+	}
+	d.gen++
+	if len(awaiting) == 0 {
+		e.valid = false
+		e.freq = 0
+		return nil
+	}
+	e.locked = true
+	d.pending = append(d.pending, pendingInstall{slot: slot, awaiting: awaiting, gc: true})
+	return out
 }
 
 // observeRawWord runs the decoder-side recurrent pattern detection on one
@@ -444,6 +578,7 @@ func (d *dictCodec) promote(src int, word value.Word, dt value.DataType, count i
 		return nil
 	}
 	if best >= uint64(count) {
+		d.blockedPromotes++
 		return nil // the candidate is not hotter than the coldest entry yet
 	}
 	d.cands.drop(word, dt)
@@ -465,6 +600,7 @@ func (d *dictCodec) promote(src int, word value.Word, dt value.DataType, count i
 		return d.install(victim, src, word, dt)
 	}
 	e.locked = true
+	d.gen++
 	d.pending = append(d.pending, pendingInstall{
 		slot: victim, pattern: word, dtype: dt, requester: src, awaiting: awaiting,
 	})
@@ -483,6 +619,8 @@ func (d *dictCodec) install(slot, src int, word value.Word, dt value.DataType) [
 		e.validBits[i] = false
 	}
 	e.validBits[src] = true
+	d.idle[slot] = 0
+	d.gen++
 	d.stats.TableWrites++
 	return []Notification{{
 		From: d.node, To: src, Kind: NotifUpdate,
@@ -534,6 +672,7 @@ func (d *dictCodec) handleUpdate(n Notification) {
 		slot = s
 	}
 	d.encDest[slot][n.From] = destRef{valid: true, idx: n.Index, orig: n.Pattern}
+	d.gen++
 	d.stats.TableWrites++
 }
 
@@ -551,6 +690,7 @@ func (d *dictCodec) handleInvalidate(n Notification) {
 		ref := &d.encDest[slot][n.From]
 		if ref.valid && ref.idx == n.Index {
 			*ref = destRef{}
+			d.gen++
 			// Invalidate the whole encoder entry if no destination uses it.
 			inUse := false
 			for i := range d.encDest[slot] {
@@ -582,10 +722,16 @@ func (d *dictCodec) handleAck(n Notification) []Notification {
 		if len(p.awaiting) > 0 {
 			return nil
 		}
-		slot, src, pat, dt := p.slot, p.requester, p.pattern, p.dtype
+		slot, src, pat, dt, gc := p.slot, p.requester, p.pattern, p.dtype, p.gc
 		d.pending = append(d.pending[:i], d.pending[i+1:]...)
 		d.dec[slot].valid = false
 		d.dec[slot].locked = false
+		if gc {
+			// GC reclaim: the slot is simply freed, nothing installs.
+			d.dec[slot].freq = 0
+			d.gen++
+			return nil
+		}
 		out := d.install(slot, src, pat, dt)
 		d.stats.NotificationsSent += uint64(len(out))
 		return out

@@ -14,7 +14,7 @@ import (
 // the encoded format changed — decide whether that is intended, then
 // regenerate with `go run ./cmd/approxnoc-vectors`.
 func TestGoldenVectors(t *testing.T) {
-	for _, name := range []string{"fpc", "bdi", "dict"} {
+	for _, name := range []string{"fpc", "bdi", "dict", "dictsnap"} {
 		want, err := vectors.Generate(name, vectors.DefaultSeed)
 		if err != nil {
 			t.Fatal(err)

@@ -134,13 +134,14 @@ func CheckBlock(orig *value.Block, enc *compress.Encoded, decoded *value.Block, 
 // every live encoder mapping toward decNode must name a valid decoder
 // entry holding exactly the original pattern the encoder recorded, and
 // the decoder must know this encoder maps it (the valid bit of Fig. 7b).
-// Codecs that do not expose dictionary introspection are skipped.
+// Codecs that do not expose dictionary introspection are skipped;
+// wrappers (e.g. the adaptive controller) are looked through.
 func CheckPMTSync(encoder, decoder compress.Codec, encNode, decNode int) error {
-	e, ok := encoder.(compress.DictIntrospector)
+	e, ok := compress.AsDictIntrospector(encoder)
 	if !ok {
 		return nil
 	}
-	d, ok := decoder.(compress.DictIntrospector)
+	d, ok := compress.AsDictIntrospector(decoder)
 	if !ok {
 		return nil
 	}

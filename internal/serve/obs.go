@@ -143,6 +143,22 @@ func registerCodecMetrics(reg *obs.Registry, prefix string, src func() compress.
 				{LabelValues: []string{"mask_hit"}, Value: float64(s.AVCLMaskHits)},
 			}
 		})
+	reg.Collector("dict_gc_epochs_total", "decoder dictionary aging epochs completed",
+		obs.TypeCounter, nil, func() []obs.Sample {
+			return []obs.Sample{{Value: float64(src().GCEpochs)}}
+		})
+	reg.Collector("dict_gc_evictions_total", "decoder dictionary entries reclaimed by GC, by policy",
+		obs.TypeCounter, []string{"reason"}, func() []obs.Sample {
+			s := src()
+			return []obs.Sample{
+				{LabelValues: []string{"age"}, Value: float64(s.GCAgeEvictions)},
+				{LabelValues: []string{"pressure"}, Value: float64(s.GCPressureEvictions)},
+			}
+		})
+	reg.Collector("dict_gc_blocked_reclaims_total", "GC reclaims deferred by the pending-eviction cap",
+		obs.TypeCounter, nil, func() []obs.Sample {
+			return []obs.Sample{{Value: float64(src().GCBlockedReclaims)}}
+		})
 	reg.Collector(prefix+"_codec_compression_ratio", "uncompressed over encoded payload bits",
 		obs.TypeGauge, nil, func() []obs.Sample {
 			return []obs.Sample{{Value: src().CompressionRatio()}}

@@ -95,6 +95,7 @@ type shard struct {
 	pool       *pool
 	queue      chan pending
 	statsReq   chan chan<- compress.OpStats
+	ctl        chan func(*pool)
 	defaultPct int
 	maxBatch   int
 	tracer     *obs.Tracer // nil when tracing is disabled
@@ -122,6 +123,7 @@ func newShard(id int, p *pool, cfg Config) *shard {
 		pool:       p,
 		queue:      make(chan pending, cfg.QueueDepth),
 		statsReq:   make(chan chan<- compress.OpStats),
+		ctl:        make(chan func(*pool)),
 		defaultPct: cfg.ThresholdPct,
 		maxBatch:   cfg.MaxBatch,
 		tracer:     cfg.Tracer,
@@ -146,6 +148,9 @@ func (s *shard) run(wg *sync.WaitGroup) {
 			}
 		case r := <-s.statsReq:
 			r <- s.pool.stats()
+			continue
+		case fn := <-s.ctl:
+			fn(s.pool)
 			continue
 		}
 		batch = append(batch[:0], p)

@@ -152,6 +152,45 @@ func (c *CAM) Entries() int {
 	return n
 }
 
+// Freq returns the frequency counter of entry i (0 when invalid).
+func (c *CAM) Freq(i int) uint64 {
+	if i < 0 || i >= c.size || !c.valid[i] {
+		return 0
+	}
+	return c.freq[i]
+}
+
+// SlotState returns slot i's raw replacement state for serialization:
+// the stored pattern, its frequency counter, and the valid bit.
+func (c *CAM) SlotState(i int) (pattern uint32, freq uint64, valid bool) {
+	if i < 0 || i >= c.size || !c.valid[i] {
+		return 0, 0, false
+	}
+	return c.pattern[i], c.freq[i], true
+}
+
+// RestoreSlot overwrites slot i with serialized state, bypassing the
+// replacement policy — the snapshot codec's inverse of SlotState.
+func (c *CAM) RestoreSlot(i int, pattern uint32, freq uint64, valid bool) {
+	if i < 0 || i >= c.size {
+		return
+	}
+	c.valid[i] = valid
+	if valid {
+		c.pattern[i], c.freq[i] = pattern, freq
+		if i >= c.hi {
+			c.hi = i + 1
+		}
+		return
+	}
+	c.pattern[i], c.freq[i] = 0, 0
+	c.refreshHi()
+}
+
+// RestoreStats overwrites the operation counters — used when restoring
+// a snapshot so energy accounting continues from the captured totals.
+func (c *CAM) RestoreStats(s Stats) { c.stats = s }
+
 // TEntry is one ternary entry: a stored value plus a don't-care mask.
 // Mask bits set to 1 are ignored during matching, i.e. the entry
 // represents the pattern family {v : v &^ Mask == Value &^ Mask}.
@@ -313,3 +352,38 @@ func (t *TCAM) Freq(i int) uint64 {
 	}
 	return t.freq[i]
 }
+
+// SlotState returns slot i's raw replacement state for serialization:
+// the stored entry, its frequency counter, and the valid bit.
+func (t *TCAM) SlotState(i int) (e TEntry, freq uint64, valid bool) {
+	if i < 0 || i >= t.size || !t.valid[i] {
+		return TEntry{}, 0, false
+	}
+	return t.ent[i], t.freq[i], true
+}
+
+// RestoreSlot overwrites slot i with serialized state, bypassing the
+// replacement policy — the snapshot codec's inverse of SlotState.
+func (t *TCAM) RestoreSlot(i int, e TEntry, freq uint64, valid bool) {
+	if i < 0 || i >= t.size {
+		return
+	}
+	t.valid[i] = valid
+	if valid {
+		t.ent[i], t.freq[i] = e, freq
+		t.nm[i], t.vm[i] = ^e.Mask, e.Value&^e.Mask
+		if i >= t.hi {
+			t.hi = i + 1
+		}
+		return
+	}
+	t.ent[i], t.freq[i] = TEntry{}, 0
+	t.nm[i], t.vm[i] = 0, 1 // unsatisfiable
+	for t.hi > 0 && !t.valid[t.hi-1] {
+		t.hi--
+	}
+}
+
+// RestoreStats overwrites the operation counters — used when restoring
+// a snapshot so energy accounting continues from the captured totals.
+func (t *TCAM) RestoreStats(s Stats) { t.stats = s }

@@ -126,6 +126,74 @@ func genDict(w *bytes.Buffer, r *rng) {
 	}
 }
 
+// genDictSnap pins the PMT snapshot wire format (DESIGN.md §12): each
+// dictionary scheme runs deterministic traffic on a two-node fabric,
+// then both codecs marshal their full state. A diff means the v1
+// snapshot bytes changed — a version bump, not a silent edit.
+func genDictSnap(w *bytes.Buffer, r *rng) {
+	cfg := compress.DefaultDictConfig(2)
+	mks := []struct {
+		name string
+		mk   func(node int) compress.Codec
+	}{
+		{"dicomp", func(node int) compress.Codec {
+			c, err := compress.NewDIComp(node, cfg)
+			if err != nil {
+				panic(err)
+			}
+			return c
+		}},
+		{"divaxx5", func(node int) compress.Codec {
+			c, err := compress.NewDIVaxx(node, cfg, 5)
+			if err != nil {
+				panic(err)
+			}
+			return c
+		}},
+		{"divaxx5w16", func(node int) compress.Codec {
+			c, err := compress.NewDIVaxxWindowed(node, cfg, 5, 16, 2)
+			if err != nil {
+				panic(err)
+			}
+			return c
+		}},
+	}
+	for _, m := range mks {
+		fab := compress.NewFabric(2, m.mk)
+		alpha := make([]value.Word, 5)
+		for i := range alpha {
+			alpha[i] = value.Word(r.uint32())
+		}
+		for i := 0; i < 48; i++ {
+			blk := &value.Block{Words: make([]value.Word, 8), DType: value.Int32, Approximable: i%3 != 0}
+			for j := range blk.Words {
+				word := alpha[r.intn(len(alpha))]
+				if r.intn(6) == 0 {
+					word ^= 1 << uint(r.intn(8)) // near-miss of a hot pattern
+				}
+				blk.Words[j] = word
+			}
+			src := r.intn(2)
+			dst := 1 - src
+			enc := fab.Codec(src).Compress(dst, blk)
+			_, notifs := fab.Codec(dst).Decompress(src, enc)
+			fab.Deliver(notifs)
+		}
+		for node := 0; node < 2; node++ {
+			s, ok := compress.AsDictSnapshotter(fab.Codec(node))
+			if !ok {
+				panic("dict codec does not snapshot")
+			}
+			img, err := s.Marshal()
+			if err != nil {
+				panic(err)
+			}
+			fmt.Fprintf(w, "%s node=%d gen=%d len=%d image=%x\n",
+				m.name, node, s.Generation(), len(img), img)
+		}
+	}
+}
+
 func genMasks(w *bytes.Buffer, r *rng) {
 	specials := []value.Word{0x00000000, 0x80000000, 0x7F800000, 0xFF800000, 0x7FC00000, 0x00000001}
 	for _, pct := range []int{0, 1, 5, 10, 25, 100} {

@@ -48,6 +48,7 @@ var Suites = []Suite{
 	{Name: "fpc", Path: "internal/compress/testdata/golden_fpc.txt", gen: genFPC},
 	{Name: "bdi", Path: "internal/compress/testdata/golden_bdi.txt", gen: genBDI},
 	{Name: "dict", Path: "internal/compress/testdata/golden_dict.txt", gen: genDict},
+	{Name: "dictsnap", Path: "internal/compress/testdata/golden_dictsnap.txt", gen: genDictSnap},
 	{Name: "masks", Path: "internal/approx/testdata/golden_masks.txt", gen: genMasks},
 	{Name: "frames", Path: "internal/serve/testdata/golden_frames.txt", gen: genFrames},
 	{Name: "metrics", Path: "internal/obs/testdata/golden_metrics.txt", gen: genMetrics},

@@ -20,6 +20,7 @@ run_target() {
 run_target ./internal/compress FuzzFPCRoundTrip
 run_target ./internal/compress FuzzDictRoundTrip
 run_target ./internal/compress FuzzBDIRoundTrip
+run_target ./internal/compress FuzzDictSnapshot
 run_target ./internal/approx FuzzVAXXErrorBound
 run_target ./internal/serve FuzzProtocolFrame
 
