@@ -25,6 +25,7 @@ import (
 	"approxnoc/internal/compress"
 	"approxnoc/internal/experiments"
 	"approxnoc/internal/noc"
+	"approxnoc/internal/qos"
 	"approxnoc/internal/serve"
 	"approxnoc/internal/topology"
 	"approxnoc/internal/value"
@@ -308,6 +309,30 @@ func NewGateway(cfg GatewayConfig) (*Gateway, error) { return serve.New(cfg) }
 // main 32-tile system with the concurrency knobs at their defaults.
 func DefaultGatewayConfig(scheme Scheme, thresholdPct int) GatewayConfig {
 	return serve.DefaultConfig(scheme, thresholdPct)
+}
+
+// QoSConfig enables the gateway's load-driven admission/quality
+// controller on GatewayConfig.QoS: under load the effective default
+// threshold rises (degrading quality before refusing work), budgeted
+// tenants spend error mass per approximated request, and exact-class
+// traffic is never degraded and last to be shed.
+type QoSConfig = qos.Config
+
+// QoSControllerConfig shapes the hysteresis threshold control loop.
+type QoSControllerConfig = qos.ControllerConfig
+
+// TenantBudget is one tenant's refillable error budget.
+type TenantBudget = qos.BudgetConfig
+
+// ErrBudgetExhausted reports a request refused because its tenant's
+// error budget cannot cover the request's error cost — a definitive
+// per-request answer, never silently degraded and never retried.
+var ErrBudgetExhausted = serve.ErrBudgetExhausted
+
+// ParseTenantBudgets parses a tenant=capacity[:refillPerSec],... spec,
+// the format the CLI -budgets flags take.
+func ParseTenantBudgets(spec string) (map[string]TenantBudget, error) {
+	return qos.ParseBudgets(spec)
 }
 
 // NewGatewayServer wraps a gateway for TCP serving.

@@ -32,6 +32,7 @@ import (
 	"approxnoc/internal/cluster"
 	"approxnoc/internal/compress"
 	"approxnoc/internal/obs"
+	"approxnoc/internal/qos"
 	"approxnoc/internal/serve"
 )
 
@@ -53,6 +54,10 @@ func main() {
 	depth := flag.Int("depth", 8, "calls in flight per client for -loadgen")
 	words := flag.Int("words", 16, "block payload size in 32-bit words for -loadgen")
 	records := flag.Int("records", 20000, "total requests for -loadgen, summed over all clients")
+	qosOn := flag.Bool("qos", false, "enable the load-driven QoS threshold controller on every owned node (needs FP-VAXX)")
+	qosMax := flag.Int("qos-max", 0, "QoS threshold cap in percent (0 = default)")
+	budgets := flag.String("budgets", "", "per-tenant error budgets on every owned node, tenant=capacity[:refillPerSec],...")
+	tenant := flag.String("tenant", "", "tenant stamped on -loadgen requests, spending that tenant's error budget")
 	debugAddr := flag.String("debug-addr", "", "serve /metrics, /cluster/members, /cluster/join (and /cluster/drain for owned nodes) on this address")
 	flag.Parse()
 
@@ -62,6 +67,7 @@ func main() {
 		shards: *shards, queue: *queue, batch: *batch,
 		vnodes: *vnodes, heartbeat: *heartbeat, warmStart: *warmStart,
 		loadgen: *loadgen, conns: *conns, depth: *depth, words: *words, records: *records,
+		qos: *qosOn, qosMax: *qosMax, budgets: *budgets, tenant: *tenant,
 		debugAddr: *debugAddr,
 	}, os.Stdout, nil); err != nil {
 		fmt.Fprintln(os.Stderr, "approxnoc-cluster:", err)
@@ -84,6 +90,9 @@ type options struct {
 	loadgen              bool
 	conns, depth, words  int
 	records              int
+	qos                  bool
+	qosMax               int
+	budgets, tenant      string
 	debugAddr            string
 }
 
@@ -100,6 +109,22 @@ func run(o options, out io.Writer, ready chan<- string) error {
 	lg := cluster.Loadgen{
 		Nodes: o.nodes, Conns: o.conns, Depth: o.depth,
 		Words: o.words, Records: o.records, Endpoints: o.endpoints,
+		Tenant: o.tenant,
+	}
+	var qcfg *qos.Config
+	if o.qos || o.budgets != "" {
+		qcfg = &qos.Config{
+			Controller: qos.ControllerConfig{BaselinePct: o.threshold, MaxPct: o.qosMax},
+			Interval:   100 * time.Millisecond,
+		}
+		if !o.qos && o.qosMax == 0 {
+			qcfg.Controller.MaxPct = -1 // budgets only: pin the cap at the baseline
+		}
+		b, err := qos.ParseBudgets(o.budgets)
+		if err != nil {
+			return err
+		}
+		qcfg.Budgets = b
 	}
 
 	// Remote modes: the view mirrors nodes someone else runs.
@@ -139,6 +164,7 @@ func run(o options, out io.Writer, ready chan<- string) error {
 		Serve: serve.Config{
 			Nodes: o.endpoints, Scheme: scheme, ThresholdPct: o.threshold,
 			Shards: o.shards, QueueDepth: o.queue, MaxBatch: o.batch,
+			QoS: qcfg,
 		},
 		View:      vcfg,
 		WarmStart: o.warmStart,
@@ -195,6 +221,9 @@ func printLoadgen(out io.Writer, what string, lg cluster.Loadgen, res cluster.Lo
 	fmt.Fprintf(out, "throughput          %.0f records/sec (%.2f MB/s payload), %d records in %v\n",
 		res.RecordsPerSec, res.PayloadMBPerSec, res.Records, res.Elapsed.Round(time.Millisecond))
 	fmt.Fprintf(out, "retries             %d overload, %d failovers\n", res.OverloadRetries, res.Failovers)
+	if res.BudgetRefused > 0 {
+		fmt.Fprintf(out, "qos                 %d records refused with ErrBudgetExhausted\n", res.BudgetRefused)
+	}
 	fmt.Fprintf(out, "balance            ")
 	for _, m := range sortedKeys(res.PerNode) {
 		fmt.Fprintf(out, " %s=%d", m, res.PerNode[m])

@@ -27,6 +27,7 @@ import (
 	"approxnoc/internal/cluster"
 	"approxnoc/internal/compress"
 	"approxnoc/internal/obs"
+	"approxnoc/internal/qos"
 	"approxnoc/internal/serve"
 	"approxnoc/internal/sim"
 	"approxnoc/internal/traffic"
@@ -59,6 +60,11 @@ func main() {
 	seed := flag.Uint64("seed", 1, "seed for the synthetic workload (-selftest)")
 	debugAddr := flag.String("debug-addr", "", "serve /metrics, /trace and pprof on this address")
 	obsDemo := flag.Bool("obs-demo", false, "boot a gateway with the debug endpoint, scrape /metrics and /trace, verify the scrape parses, and exit")
+	qosOn := flag.Bool("qos", false, "enable the load-driven QoS threshold controller (degrade quality before refusing work; needs FP-VAXX)")
+	qosMax := flag.Int("qos-max", 0, "QoS threshold cap in percent (0 = default)")
+	qosInterval := flag.Duration("qos-interval", 100*time.Millisecond, "QoS control-loop sampling period")
+	budgets := flag.String("budgets", "", "per-tenant error budgets, tenant=capacity[:refillPerSec],... (enables budget enforcement)")
+	tenant := flag.String("tenant", "", "tenant stamped on -loadgen requests, spending that tenant's error budget")
 	nodeID := flag.String("node-id", "", "this node's cluster identity (required with -cluster-join)")
 	clusterJoin := flag.String("cluster-join", "", "announce this node to a cluster seed's /cluster/join endpoint (e.g. http://seed:9555)")
 	advertise := flag.String("advertise", "", "address to announce to the cluster seed (default: the -addr listen address)")
@@ -71,6 +77,9 @@ func main() {
 	}
 	scheme, err := compress.ParseScheme(*schemeName)
 	if err == nil {
+		cfg.QoS, err = qosConfig(*qosOn, *qosMax, *threshold, *qosInterval, *budgets)
+	}
+	if err == nil {
 		cfg.Scheme = scheme
 		switch {
 		case *obsDemo:
@@ -78,7 +87,7 @@ func main() {
 		case *selftest:
 			err = runSelftest(cfg, *benchmark, *trace, *records, *clients, *seed)
 		case *loadgen:
-			err = runLoadgen(cfg, serve.Loadgen{Conns: *conns, Depth: *depth, Words: *words, Records: *records})
+			err = runLoadgen(cfg, serve.Loadgen{Conns: *conns, Depth: *depth, Words: *words, Records: *records, Tenant: *tenant})
 		default:
 			err = runServer(cfg, *addr, *debugAddr, *nodeID, *clusterJoin, *advertise)
 		}
@@ -87,6 +96,29 @@ func main() {
 		fmt.Fprintln(os.Stderr, "approxnoc-serve:", err)
 		os.Exit(1)
 	}
+}
+
+// qosConfig assembles the gateway QoS configuration from the -qos,
+// -qos-max, -qos-interval, and -budgets flags; nil when QoS is off.
+// -budgets without -qos enforces budgets with the threshold pinned at
+// the configured baseline (no controller movement, any scheme works).
+func qosConfig(on bool, maxPct, baselinePct int, interval time.Duration, budgetSpec string) (*qos.Config, error) {
+	if !on && budgetSpec == "" {
+		return nil, nil
+	}
+	q := &qos.Config{
+		Controller: qos.ControllerConfig{BaselinePct: baselinePct, MaxPct: maxPct},
+		Interval:   interval,
+	}
+	if !on && maxPct == 0 {
+		q.Controller.MaxPct = -1 // budgets only: pin the cap at the baseline
+	}
+	b, err := qos.ParseBudgets(budgetSpec)
+	if err != nil {
+		return nil, err
+	}
+	q.Budgets = b
+	return q, nil
 }
 
 // runServer serves the gateway until the listener fails (e.g. the
@@ -125,6 +157,11 @@ func runServer(cfg serve.Config, addr, debugAddr, nodeID, seedURL, advertise str
 	eff := gw.Config()
 	fmt.Printf("serving %v gateway: %d nodes, %d shards (locked=%v), queue %d, batch %d, threshold %d%%\n",
 		eff.Scheme, eff.Nodes, eff.Shards, eff.Locked, eff.QueueDepth, eff.MaxBatch, eff.ThresholdPct)
+	if ctl := gw.QoSController(); ctl != nil {
+		c := ctl.Config()
+		fmt.Printf("qos                 threshold %d..%d%% step %d, watermarks %.2f/%.2f, %d budgeted tenants\n",
+			c.BaselinePct, c.MaxPct, c.StepPct, c.LowerAt, c.RaiseAt, len(gw.Budgets()))
+	}
 	srv.NodeID = nodeID
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
@@ -177,6 +214,9 @@ func runLoadgen(cfg serve.Config, lg serve.Loadgen) error {
 		res.RecordsPerSec, res.PayloadMBPerSec, res.Records, res.Elapsed.Round(time.Millisecond))
 	fmt.Printf("wire                %d read frames, %d write batches (%.1f frames/batch), %d bytes out, %d overload retries\n",
 		res.Wire.ReadFrames, res.Wire.WriteBatches, framesPerBatch, res.Wire.WriteBytes, res.Retries)
+	if res.BudgetRefused > 0 {
+		fmt.Printf("qos                 %d records refused with ErrBudgetExhausted\n", res.BudgetRefused)
+	}
 	return nil
 }
 

@@ -1,11 +1,16 @@
-// Error budgets: compares the paper's shipped per-word error threshold
-// against the §7 future-work window-based cumulative budget on the same
-// data stream. Exact matches bank slack that the windowed policy spends
-// on words a per-word policy must send raw — more approximate matches at
-// the same mean error.
+// Error budgets: per-tenant accounting of approximation error on the
+// QoS gateway. Each tenant owns a refillable budget of *error mass* —
+// Cost(threshold%, words) = threshold × words / 100, i.e. fully-wrong-
+// word equivalents — charged per approximated request. An exhausted
+// tenant is refused loudly with ErrBudgetExhausted (never silently
+// served a worse answer), can always fall back to exact-class traffic
+// for free, and under overload the QoS controller raises the default
+// threshold so default-mode requests spend more mass per block — the
+// quality-for-throughput trade priced in the same currency.
 package main
 
 import (
+	"errors"
 	"fmt"
 	"log"
 
@@ -13,46 +18,87 @@ import (
 )
 
 func main() {
-	fmt.Println("Per-word vs windowed error budgets (FP-VAXX, 10% nominal threshold)")
-	fmt.Printf("%-10s %14s %12s %10s\n", "budget", "approx words", "compression", "quality")
-
-	perWord, err := approxnoc.NewChannel(2, approxnoc.FPVaxx, 10)
+	cfg := approxnoc.DefaultGatewayConfig(approxnoc.FPVaxx, 0)
+	cfg.QoS = &approxnoc.QoSConfig{
+		Controller: approxnoc.QoSControllerConfig{
+			MaxPct: 25, StepPct: 25, RaiseAt: 0.5, LowerAt: 0.1,
+		},
+		Budgets: map[string]approxnoc.TenantBudget{
+			"gold":  {Capacity: 8}, // 8 fully-wrong words of mass
+			"batch": {Capacity: 3},
+			"surge": {Capacity: 5},
+			// RefillPerSec would make these token buckets; left 0 here so
+			// the run is deterministic.
+		},
+	}
+	gw, err := approxnoc.NewGateway(cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
-	report("per-word", perWord)
+	defer gw.Close()
 
-	windowed, err := approxnoc.NewWindowedChannel(2, approxnoc.FPVaxx, 10, 16, 4)
-	if err != nil {
-		log.Fatal(err)
+	// A 10-word block costs exactly 1.0 mass at a 10% threshold.
+	block := func() *approxnoc.Block {
+		return approxnoc.NewIntBlock([]int32{500, 501, 502, 500, 499, 501, 500, 502, 500, 501}, true)
 	}
-	report("windowed", windowed)
-}
 
-// report streams the same mixed workload through a channel and prints its
-// codec statistics.
-func report(name string, ch *approxnoc.Channel) {
-	rng := uint64(424242)
-	next := func(n int) int {
-		rng = rng*6364136223846793005 + 1442695040888963407
-		return int(rng>>33) % n
-	}
-	for blk := 0; blk < 800; blk++ {
-		vals := make([]int32, 16)
-		for i := range vals {
-			if i%2 == 0 {
-				// Small exact-compressible values: these bank budget slack.
-				vals[i] = int32(next(8))
-			} else {
-				// Values whose noisy low halfword exceeds the per-word mask
-				// at 10% but fits the boosted mask: only the windowed
-				// budget can afford these.
-				vals[i] = int32(1<<18 + next(1<<16))
+	fmt.Println("Per-tenant error budgets on the QoS gateway (FP-VAXX, cost = threshold% x words / 100)")
+
+	fmt.Println("\n[1] explicit 10% demands: 10-word blocks cost 1.0 each")
+	for _, tenant := range []string{"gold", "batch"} {
+		served, refused := 0, 0
+		for i := 0; i < 10; i++ {
+			_, err := gw.Do(approxnoc.ServeRequest{
+				Src: 0, Dst: 1, Block: block(), ThresholdPct: 10, Tenant: tenant,
+			})
+			switch {
+			case err == nil:
+				served++
+			case errors.Is(err, approxnoc.ErrBudgetExhausted):
+				refused++
+			default:
+				log.Fatal(err)
 			}
 		}
-		ch.Transfer(0, 1, approxnoc.NewIntBlock(vals, true))
+		snap := gw.Budgets()[tenant]
+		fmt.Printf("    %-6s %d served, %d refused   spent %.1f of %.1f\n",
+			tenant, served, refused, snap.Spent, snap.Capacity)
 	}
-	s := ch.Stats()
-	fmt.Printf("%-10s %13.1f%% %11.2fx %10.4f\n",
-		name, 100*s.ApproxWordFraction(), s.CompressionRatio(), s.DataQuality())
+
+	fmt.Println("\n[2] exhausted tenants fall back to exact-class traffic: free, never degraded")
+	in := block()
+	res, err := gw.Do(approxnoc.ServeRequest{
+		Src: 0, Dst: 1, Block: in, ThresholdPct: approxnoc.ExactThreshold, Tenant: "batch",
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("    batch exact transfer: bit-identical %v, spent still %.1f\n",
+		res.Block.Equal(in), gw.Budgets()["batch"].Spent)
+
+	fmt.Println("\n[3] overload: QoS raises the default threshold, so default-mode spending scales with it")
+	fmt.Printf("    default threshold before: %d%%\n", gw.QoSThreshold())
+	gw.QoSController().Tick(1.0) // one control step at full load (the sampler does this on a timer)
+	fmt.Printf("    default threshold under load: %d%% -> a 10-word default request now costs 2.5\n",
+		gw.QoSThreshold())
+	served, refused := 0, 0
+	for i := 0; i < 3; i++ {
+		_, err := gw.Do(approxnoc.ServeRequest{Src: 0, Dst: 1, Block: block(), Tenant: "surge"})
+		switch {
+		case err == nil:
+			served++
+		case errors.Is(err, approxnoc.ErrBudgetExhausted):
+			refused++
+		default:
+			log.Fatal(err)
+		}
+	}
+	snap := gw.Budgets()["surge"]
+	fmt.Printf("    surge: %d served, %d refused   spent %.1f of %.1f\n",
+		served, refused, snap.Spent, snap.Capacity)
+
+	for i := 0; i < 4; i++ {
+		gw.QoSController().Tick(0) // calm: cooldown expires, threshold decays
+	}
+	fmt.Printf("    default threshold after the load clears: %d%% (exact again)\n", gw.QoSThreshold())
 }

@@ -364,8 +364,12 @@ func (c *Client) complete(lk *link, sc *serve.Call) {
 		c.enqueueRetry(cc, 0)
 	default:
 		// A definitive per-request answer (validation error, gateway
-		// closed, threshold rejection): retrying elsewhere cannot
-		// change it.
+		// closed, threshold rejection, ErrBudgetExhausted): retrying
+		// elsewhere cannot change it. Budget refusals in particular
+		// must land here and never on the retry paths above — the
+		// ledger charges at execution time, so a refused request was
+		// never charged and a re-issue would risk double-spending the
+		// tenant once the budget refills mid-retry.
 		c.finish(cc, lk.id, sc.Res, sc.Err)
 	}
 }

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -32,6 +33,13 @@ type Loadgen struct {
 	// (0 means the per-node gateway's Nodes for an in-process rig, 64
 	// for a view rig).
 	Endpoints int
+	// Tenant stamps every generated request with a QoS tenant name, so
+	// the replay spends that tenant's error budget ("" means unbudgeted).
+	Tenant string
+	// ThresholdPct is the per-request threshold override applied to
+	// every generated request (serve.DefaultThreshold uses the target
+	// gateway's, possibly QoS-raised, default).
+	ThresholdPct int
 }
 
 // withDefaults fills zero knobs and validates the load shape.
@@ -64,7 +72,10 @@ func (lg Loadgen) withDefaults() (Loadgen, error) {
 type LoadgenResult struct {
 	// Records is the number of requests completed; OverloadRetries and
 	// Failovers count the cluster client's re-issues on top of them.
+	// BudgetRefused counts records answered with ErrBudgetExhausted —
+	// settled, not retried.
 	Records         int
+	BudgetRefused   int
 	OverloadRetries uint64
 	Failovers       uint64
 	// Elapsed is the wall time of the replay (setup excluded).
@@ -167,6 +178,7 @@ func (r *LoadgenRig) Run(records int) (LoadgenResult, error) {
 	before := r.view.Stats()
 	var wg sync.WaitGroup
 	errs := make(chan error, len(r.clients))
+	refused := make([]int, len(r.clients))
 	start := time.Now()
 	for c, cl := range r.clients {
 		per := records / len(r.clients)
@@ -189,16 +201,22 @@ func (r *LoadgenRig) Run(records int) (LoadgenResult, error) {
 					cl.Go(serve.Request{
 						Src: src, Dst: (src + 1) % r.endpoints,
 						Block:        r.blocks[(c+sent)%len(r.blocks)],
-						ThresholdPct: serve.DefaultThreshold,
+						ThresholdPct: r.lg.ThresholdPct,
+						Tenant:       r.lg.Tenant,
 					}, done)
 					outstanding++
 					sent++
 				}
 				call := <-done
 				outstanding--
-				if call.Err != nil {
+				if call.Err != nil && !errors.Is(call.Err, serve.ErrBudgetExhausted) {
+					// Budget refusals are definitive per-request answers,
+					// not replay failures: the record settles as refused.
 					errs <- fmt.Errorf("cluster: loadgen client %d: %w", c, call.Err)
 					return
+				}
+				if call.Err != nil {
+					refused[c]++
 				}
 			}
 		}(c, cl, per)
@@ -219,6 +237,9 @@ func (r *LoadgenRig) Run(records int) (LoadgenResult, error) {
 		PerNode:         make(map[string]uint64),
 	}
 	res.PayloadMBPerSec = res.RecordsPerSec * float64(4*r.lg.Words) / (1 << 20)
+	for _, n := range refused {
+		res.BudgetRefused += n
+	}
 	for _, m := range r.view.Members() {
 		res.PerNode[m.ID] = m.Requests
 	}

@@ -1,0 +1,231 @@
+package cluster_test
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"approxnoc/internal/cluster"
+	"approxnoc/internal/compress"
+	"approxnoc/internal/qos"
+	"approxnoc/internal/serve"
+	"approxnoc/internal/value"
+)
+
+// qosServeConfig is the overload shape: a tiny queue with aggressive
+// shedding, a live background control loop, and three tenants — an
+// unbounded one, one with two requests of error mass, and priority
+// (exact-class) traffic riding the same nodes.
+func qosServeConfig() serve.Config {
+	return serve.Config{
+		Nodes: testTiles, Scheme: compress.FPVaxx, ThresholdPct: 10,
+		Shards: 1, QueueDepth: 16,
+		QoS: &qos.Config{
+			Controller: qos.ControllerConfig{
+				MaxPct: 30, StepPct: 5, RaiseAt: 0.6, LowerAt: 0.2,
+			},
+			Budgets: map[string]qos.BudgetConfig{
+				"silver": {Capacity: 1e6},
+				"broke":  {Capacity: 2},
+			},
+			ShedFraction: 0.5,
+			Interval:     time.Millisecond, // real async sampler: chaos, not scripted ticks
+		},
+	}
+}
+
+// costBlock costs exactly 1.0 error mass at the 10% threshold the
+// budgeted tenants demand, so ledger sums are exactly representable.
+func costBlock() *value.Block {
+	return value.BlockFromI32([]int32{500, 501, 502, 500, 499, 501, 500, 502, 500, 501}, true)
+}
+
+// TestClusterQoSThreeTenantChaos is the chaos test: an overloaded
+// cluster under concurrent load from three tenant classes. Run it with
+// -race. It asserts the PR's QoS guarantees hold under contention:
+//
+//   - exact-class responses are bit-identical to an unloaded run,
+//     however hard the controller is degrading default traffic;
+//   - the exhausted tenant is refused with ErrBudgetExhausted — never
+//     silently degraded into an approximate answer it didn't pay for;
+//   - every completed budgeted request is charged exactly once: the
+//     ledgers' spent mass sums to the success count, even though the
+//     overload path re-submits shed requests through cluster.Client
+//     retries (charging happens at execution, not at submission).
+func TestClusterQoSThreeTenantChaos(t *testing.T) {
+	cfg := testClusterConfig(3)
+	cfg.Serve = qosServeConfig()
+	cl, err := cluster.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	exactBlk := value.BlockFromI32([]int32{7, -1000, 999999, 3, -7, 0, 42, -42}, true)
+
+	// Unloaded reference for the exact class: with no contention, the
+	// exact flow's responses equal the input bit for bit.
+	quiet := cl.Client(cluster.ClientConfig{})
+	res, err := quiet.Do(serve.Request{Src: 1, Dst: 2, Block: exactBlk, ThresholdPct: serve.ThresholdExact})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Block.Equal(exactBlk) {
+		t.Fatal("unloaded exact response not bit-identical")
+	}
+	quiet.Close()
+
+	const (
+		floodWorkers   = 4
+		floodRequests  = 200
+		exactRequests  = 150
+		silverRequests = 150
+		brokeRequests  = 50
+	)
+	var (
+		wg             sync.WaitGroup
+		silverOK       atomic.Uint64
+		brokeOK        atomic.Uint64
+		brokeRefused   atomic.Uint64
+		failures       atomic.Uint64
+		firstFailureMu sync.Mutex
+		firstFailure   error
+	)
+	fail := func(err error) {
+		failures.Add(1)
+		firstFailureMu.Lock()
+		if firstFailure == nil {
+			firstFailure = err
+		}
+		firstFailureMu.Unlock()
+	}
+
+	client := cl.Client(cluster.ClientConfig{})
+	defer client.Close()
+
+	// Flood: untenanted default-threshold traffic across many flows,
+	// sized to overrun the 16-deep queues and trip the shed watermark —
+	// the client re-submits every shed request until it lands.
+	for w := 0; w < floodWorkers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			blk := costBlock()
+			for i := 0; i < floodRequests; i++ {
+				src := (w*5 + i) % testTiles
+				if _, err := client.Do(serve.Request{Src: src, Dst: (src + 1) % testTiles, Block: blk}); err != nil {
+					fail(err)
+					return
+				}
+			}
+		}(w)
+	}
+
+	// Exact class: priority traffic that must come back bit-identical
+	// to the unloaded run no matter what QoS does to everyone else.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < exactRequests; i++ {
+			res, err := client.Do(serve.Request{
+				Src: 1, Dst: 2, Block: exactBlk, ThresholdPct: serve.ThresholdExact, Tenant: "silver",
+			})
+			if err != nil {
+				fail(err)
+				return
+			}
+			if !res.Block.Equal(exactBlk) {
+				t.Error("exact-class response degraded under load")
+				return
+			}
+		}
+	}()
+
+	// Silver: a budgeted tenant with mass to spare, demanding an
+	// explicit 10% so every completed request costs exactly 1.0.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		orig := costBlock()
+		for i := 0; i < silverRequests; i++ {
+			res, err := client.Do(serve.Request{
+				Src: 3, Dst: 4, Block: costBlock(), ThresholdPct: 10, Tenant: "silver",
+			})
+			if err != nil {
+				fail(err)
+				return
+			}
+			silverOK.Add(1)
+			for w := range orig.Words {
+				if e := value.RelError(orig.Words[w], res.Block.Words[w], orig.DType); e > 0.10+1e-9 {
+					t.Errorf("silver word %d rel error %.4f beyond the 10%% it paid for", w, e)
+					return
+				}
+			}
+		}
+	}()
+
+	// Broke: two requests of budget, then refusals — which must be loud
+	// (ErrBudgetExhausted), never a silently degraded success.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < brokeRequests; i++ {
+			_, err := client.Do(serve.Request{
+				Src: 5, Dst: 6, Block: costBlock(), ThresholdPct: 10, Tenant: "broke",
+			})
+			switch {
+			case err == nil:
+				brokeOK.Add(1)
+			case errors.Is(err, serve.ErrBudgetExhausted):
+				brokeRefused.Add(1)
+			default:
+				fail(err)
+				return
+			}
+		}
+	}()
+
+	wg.Wait()
+	if failures.Load() > 0 {
+		t.Fatalf("%d workers failed, first: %v", failures.Load(), firstFailure)
+	}
+	if got := silverOK.Load(); got != silverRequests {
+		t.Errorf("silver completed %d of %d despite ample budget", got, silverRequests)
+	}
+	// One flow, one owning node, capacity 2, no refill: exactly two
+	// broke requests can ever be admitted.
+	if got := brokeOK.Load(); got > 2 {
+		t.Errorf("broke tenant completed %d requests on a 2.0 budget", got)
+	}
+	if brokeRefused.Load() == 0 {
+		t.Error("broke tenant never saw ErrBudgetExhausted")
+	}
+	if brokeOK.Load()+brokeRefused.Load() != brokeRequests {
+		t.Errorf("broke accounting leaks: %d ok + %d refused != %d",
+			brokeOK.Load(), brokeRefused.Load(), brokeRequests)
+	}
+
+	// Exactly-once: the ledgers across the cluster carry precisely one
+	// unit of spent mass per completed budgeted request — shed-and-retry
+	// cycles and the flood's contention charged nothing extra. The exact
+	// class is free (no approximation), so silver's exact traffic must
+	// not appear in the sums either.
+	var silverSpent, brokeSpent float64
+	for _, id := range cl.NodeIDs() {
+		gw, ok := cl.Gateway(id)
+		if !ok {
+			t.Fatalf("node %s gone", id)
+		}
+		silverSpent += gw.Ledger().Tenant("silver").Spent
+		brokeSpent += gw.Ledger().Tenant("broke").Spent
+	}
+	if want := float64(silverOK.Load()); silverSpent != want {
+		t.Errorf("silver spent %g across the cluster, want exactly %g", silverSpent, want)
+	}
+	if want := float64(brokeOK.Load()); brokeSpent != want {
+		t.Errorf("broke spent %g across the cluster, want exactly %g", brokeSpent, want)
+	}
+}

@@ -1,0 +1,195 @@
+package qos
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"approxnoc/internal/obs"
+)
+
+// ControllerConfig parameterizes the threshold control loop.
+type ControllerConfig struct {
+	// BaselinePct is the idle threshold: what the gateway serves at when
+	// load is low, and the floor the controller decays back to. The
+	// gateway fills it with its configured default threshold when left
+	// zero.
+	BaselinePct int
+	// MaxPct caps the raised threshold — the worst quality the
+	// controller may trade for throughput. 0 means max(50, BaselinePct);
+	// negative pins the cap at the baseline, so the controller never
+	// moves (budget enforcement without threshold control).
+	MaxPct int
+	// StepPct is the per-tick adjustment. 0 means 5.
+	StepPct int
+	// RaiseAt is the load at or above which a tick raises the threshold
+	// one step. 0 means 0.75.
+	RaiseAt float64
+	// LowerAt is the load at or below which a tick lowers the threshold
+	// one step, once the post-raise cooldown has expired. Keeping
+	// LowerAt well under RaiseAt is the hysteresis band: loads between
+	// the two watermarks hold the threshold steady. 0 means 0.25.
+	LowerAt float64
+	// Cooldown is how many ticks after a raise the controller refuses
+	// to lower, so load flapping around the watermarks ratchets the
+	// threshold up and parks it instead of oscillating. 0 means 3;
+	// negative means no cooldown.
+	Cooldown int
+}
+
+// withDefaults fills zero knobs and validates the control law.
+func (c ControllerConfig) withDefaults() (ControllerConfig, error) {
+	if c.MaxPct < 0 {
+		c.MaxPct = c.BaselinePct
+	}
+	if c.MaxPct == 0 {
+		c.MaxPct = 50
+		if c.BaselinePct > c.MaxPct {
+			c.MaxPct = c.BaselinePct
+		}
+	}
+	if c.StepPct == 0 {
+		c.StepPct = 5
+	}
+	if c.RaiseAt == 0 {
+		c.RaiseAt = 0.75
+	}
+	if c.LowerAt == 0 {
+		c.LowerAt = 0.25
+	}
+	if c.Cooldown == 0 {
+		c.Cooldown = 3
+	}
+	if c.Cooldown < 0 {
+		c.Cooldown = 0
+	}
+	if c.BaselinePct < 0 || c.BaselinePct > 100 {
+		return c, fmt.Errorf("qos: baseline threshold %d%% outside [0,100]", c.BaselinePct)
+	}
+	if c.MaxPct < c.BaselinePct || c.MaxPct > 100 {
+		return c, fmt.Errorf("qos: max threshold %d%% outside [baseline %d%%, 100]", c.MaxPct, c.BaselinePct)
+	}
+	if c.StepPct < 0 {
+		return c, fmt.Errorf("qos: step %d%% must be positive", c.StepPct)
+	}
+	if c.LowerAt < 0 || c.RaiseAt <= c.LowerAt {
+		return c, fmt.Errorf("qos: watermarks need 0 <= LowerAt (%g) < RaiseAt (%g)", c.LowerAt, c.RaiseAt)
+	}
+	return c, nil
+}
+
+// Controller is the load-driven threshold control loop. Tick advances
+// it one deterministic control step; Threshold is the lock-free read
+// the gateway's shard workers take per request. Controller is safe for
+// concurrent use, but control decisions are serialized: at most one
+// Tick runs at a time.
+type Controller struct {
+	cfg ControllerConfig
+
+	cur atomic.Int64 // current effective default threshold, percent
+
+	mu       sync.Mutex // serializes Tick
+	cooldown int        // ticks left before a lower is allowed again
+
+	ticks    atomic.Uint64
+	raises   atomic.Uint64
+	lowers   atomic.Uint64
+	lastLoad atomic.Uint64 // float64 bits of the last observed load
+}
+
+// NewController validates cfg (zero knobs defaulted) and returns a
+// controller resting at the baseline threshold.
+func NewController(cfg ControllerConfig) (*Controller, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	c := &Controller{cfg: cfg}
+	c.cur.Store(int64(cfg.BaselinePct))
+	return c, nil
+}
+
+// Config returns the controller's effective configuration.
+func (c *Controller) Config() ControllerConfig { return c.cfg }
+
+// Threshold returns the current effective default threshold in percent.
+// It is a single atomic load, safe on any hot path.
+func (c *Controller) Threshold() int { return int(c.cur.Load()) }
+
+// Tick runs one control step against the observed load and returns the
+// new threshold. The law, with hysteresis spelled out:
+//
+//	load >= RaiseAt            raise one step (up to MaxPct) and arm
+//	                           the cooldown
+//	load <= LowerAt, cooled    lower one step (down to BaselinePct)
+//	otherwise                  hold, letting the cooldown expire
+//
+// Raising always re-arms the cooldown, so input flapping across the
+// watermarks ratchets the threshold toward the cap and parks it there
+// instead of oscillating; only sustained calm decays it back.
+func (c *Controller) Tick(load float64) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ticks.Add(1)
+	c.lastLoad.Store(math.Float64bits(load))
+	t := int(c.cur.Load())
+	if load >= c.cfg.RaiseAt {
+		c.cooldown = c.cfg.Cooldown
+		if t < c.cfg.MaxPct {
+			t += c.cfg.StepPct
+			if t > c.cfg.MaxPct {
+				t = c.cfg.MaxPct
+			}
+			c.raises.Add(1)
+			c.cur.Store(int64(t))
+		}
+		return t
+	}
+	if c.cooldown > 0 {
+		c.cooldown--
+		return t
+	}
+	if load <= c.cfg.LowerAt && t > c.cfg.BaselinePct {
+		t -= c.cfg.StepPct
+		if t < c.cfg.BaselinePct {
+			t = c.cfg.BaselinePct
+		}
+		c.lowers.Add(1)
+		c.cur.Store(int64(t))
+	}
+	return t
+}
+
+// LastLoad returns the most recently observed load.
+func (c *Controller) LastLoad() float64 { return math.Float64frombits(c.lastLoad.Load()) }
+
+// Ticks, Raises, and Lowers snapshot the control-decision counters.
+func (c *Controller) Ticks() uint64  { return c.ticks.Load() }
+func (c *Controller) Raises() uint64 { return c.raises.Load() }
+func (c *Controller) Lowers() uint64 { return c.lowers.Load() }
+
+// RegisterMetrics exports the controller's state on reg under the
+// qos_ prefix, following the collector-backed scheme of DESIGN.md §8:
+// every family reads atomics, so scraping never blocks a control tick.
+func (c *Controller) RegisterMetrics(reg *obs.Registry) {
+	reg.GaugeFunc("qos_threshold_pct", "current effective default error threshold",
+		func() float64 { return float64(c.Threshold()) })
+	reg.GaugeFunc("qos_threshold_baseline_pct", "idle (floor) threshold",
+		func() float64 { return float64(c.cfg.BaselinePct) })
+	reg.GaugeFunc("qos_threshold_max_pct", "threshold cap under load",
+		func() float64 { return float64(c.cfg.MaxPct) })
+	reg.GaugeFunc("qos_load", "last observed load signal",
+		func() float64 { return c.LastLoad() })
+	reg.Collector("qos_ticks_total", "control-loop steps taken",
+		obs.TypeCounter, nil, func() []obs.Sample {
+			return []obs.Sample{{Value: float64(c.ticks.Load())}}
+		})
+	reg.Collector("qos_adjustments_total", "threshold moves, by direction",
+		obs.TypeCounter, []string{"dir"}, func() []obs.Sample {
+			return []obs.Sample{
+				{LabelValues: []string{"lower"}, Value: float64(c.lowers.Load())},
+				{LabelValues: []string{"raise"}, Value: float64(c.raises.Load())},
+			}
+		})
+}

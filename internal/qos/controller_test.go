@@ -1,0 +1,180 @@
+package qos
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// testCfg is the canonical control law the golden trajectories pin:
+// thresholds 0..20 in steps of 5, the default watermarks, and a
+// two-tick cooldown (short enough that decay shows inside small
+// traces, long enough that flapping can never outlast it).
+func testCfg() ControllerConfig {
+	return ControllerConfig{BaselinePct: 0, MaxPct: 20, StepPct: 5, RaiseAt: 0.75, LowerAt: 0.25, Cooldown: 2}
+}
+
+// TestControllerStepTrace pins the trajectory for the canonical
+// overload onset: idle, then sustained load. The threshold must climb
+// one step per tick to the cap and park there.
+func TestControllerStepTrace(t *testing.T) {
+	res, err := Simulate(testCfg(), StepTrace(0.1, 0.9, 4, 12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{0, 0, 0, 0, 5, 10, 15, 20, 20, 20, 20, 20}
+	if !reflect.DeepEqual(res.Thresholds, want) {
+		t.Errorf("step trajectory %v, want %v", res.Thresholds, want)
+	}
+	if res.Raises != 4 || res.Lowers != 0 || res.Reversals != 0 {
+		t.Errorf("step moves: raises %d lowers %d reversals %d, want 4/0/0",
+			res.Raises, res.Lowers, res.Reversals)
+	}
+}
+
+// TestControllerRampTrace pins the trajectory for linearly climbing
+// load: nothing happens until the raise watermark, then one step per
+// tick.
+func TestControllerRampTrace(t *testing.T) {
+	res, err := Simulate(testCfg(), RampTrace(0, 1, 11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{0, 0, 0, 0, 0, 0, 0, 0, 5, 10, 15}
+	if !reflect.DeepEqual(res.Thresholds, want) {
+		t.Errorf("ramp trajectory %v, want %v", res.Thresholds, want)
+	}
+}
+
+// TestControllerSawtoothTrace pins load that builds and collapses
+// repeatedly: the cooldown spans each collapse, so the threshold
+// ratchets monotonically to the cap instead of tracking the teeth.
+func TestControllerSawtoothTrace(t *testing.T) {
+	res, err := Simulate(testCfg(), SawtoothTrace(0, 1, 5, 15))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{0, 0, 0, 5, 10, 10, 10, 10, 15, 20, 20, 20, 20, 20, 20}
+	if !reflect.DeepEqual(res.Thresholds, want) {
+		t.Errorf("sawtooth trajectory %v, want %v", res.Thresholds, want)
+	}
+	if res.Reversals != 0 {
+		t.Errorf("sawtooth reversed direction %d times, want ratcheting only", res.Reversals)
+	}
+}
+
+// TestControllerFlappingHysteresis drives the adversarial input —
+// load alternating across both watermarks every tick — and verifies
+// the hysteresis contract: the threshold ratchets up and parks at the
+// cap with zero oscillation, because every raise re-arms the cooldown
+// before any low tick can expire it.
+func TestControllerFlappingHysteresis(t *testing.T) {
+	res, err := Simulate(testCfg(), FlappingTrace(0.1, 0.9, 16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{5, 5, 10, 10, 15, 15, 20, 20, 20, 20, 20, 20, 20, 20, 20, 20}
+	if !reflect.DeepEqual(res.Thresholds, want) {
+		t.Errorf("flapping trajectory %v, want %v", res.Thresholds, want)
+	}
+	if res.Lowers != 0 || res.Reversals != 0 {
+		t.Errorf("flapping load caused %d lowers and %d reversals, want 0/0 (no oscillation)",
+			res.Lowers, res.Reversals)
+	}
+}
+
+// TestControllerIdleReturnsToBaseline verifies decay: after an
+// overload burst ends, sustained idle load walks the threshold back
+// down to the baseline — but only once the cooldown expires.
+func TestControllerIdleReturnsToBaseline(t *testing.T) {
+	trace := append(StepTrace(0.9, 0.9, 0, 6), StepTrace(0.1, 0.1, 0, 8)...)
+	res, err := Simulate(testCfg(), trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{5, 10, 15, 20, 20, 20, // burst: climb and cap
+		20, 20, // idle, but cooldown still draining
+		15, 10, 5, 0, 0, 0} // cooled: decay to baseline and rest
+	if !reflect.DeepEqual(res.Thresholds, want) {
+		t.Errorf("burst+idle trajectory %v, want %v", res.Thresholds, want)
+	}
+	if got := res.Thresholds[len(res.Thresholds)-1]; got != 0 {
+		t.Errorf("idle controller rests at %d%%, want the 0%% baseline", got)
+	}
+}
+
+// TestControllerDefaultsAndValidation covers the config surface: zero
+// knobs default, the MaxPct<0 pin sentinel, and each invalid shape.
+func TestControllerDefaultsAndValidation(t *testing.T) {
+	cfg, err := ControllerConfig{}.withDefaults()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.MaxPct != 50 || cfg.StepPct != 5 || cfg.RaiseAt != 0.75 || cfg.LowerAt != 0.25 || cfg.Cooldown != 3 {
+		t.Errorf("zero config defaulted to %+v", cfg)
+	}
+	cfg, err = ControllerConfig{BaselinePct: 60}.withDefaults()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.MaxPct != 60 {
+		t.Errorf("MaxPct defaulted to %d with baseline 60, want 60", cfg.MaxPct)
+	}
+
+	// The pin sentinel: MaxPct < 0 means "never move".
+	ctl, err := NewController(ControllerConfig{BaselinePct: 10, MaxPct: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if got := ctl.Tick(1.0); got != 10 {
+			t.Fatalf("pinned controller moved to %d%% under load", got)
+		}
+	}
+
+	for _, bad := range []ControllerConfig{
+		{BaselinePct: -1},
+		{BaselinePct: 101},
+		{BaselinePct: 30, MaxPct: 20},
+		{MaxPct: 101},
+		{StepPct: -5},
+		{RaiseAt: 0.2, LowerAt: 0.4},
+		{LowerAt: -0.1, RaiseAt: 0.5},
+	} {
+		if _, err := NewController(bad); err == nil {
+			t.Errorf("config %+v accepted", bad)
+		}
+	}
+}
+
+// TestControllerCounters verifies the observable control-decision
+// counters and the last-load gauge the metrics families read.
+func TestControllerCounters(t *testing.T) {
+	ctl, err := NewController(testCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctl.Tick(0.9)
+	ctl.Tick(0.9)
+	ctl.Tick(0.1) // cooldown
+	ctl.Tick(0.1) // cooldown
+	ctl.Tick(0.1) // lower
+	if ctl.Ticks() != 5 || ctl.Raises() != 2 || ctl.Lowers() != 1 {
+		t.Errorf("ticks %d raises %d lowers %d, want 5/2/1", ctl.Ticks(), ctl.Raises(), ctl.Lowers())
+	}
+	if ctl.LastLoad() != 0.1 {
+		t.Errorf("last load %g, want 0.1", ctl.LastLoad())
+	}
+	if ctl.Threshold() != 5 {
+		t.Errorf("threshold %d, want 5", ctl.Threshold())
+	}
+}
+
+// TestSimulateRejectsBadConfig keeps the rig honest about validation.
+func TestSimulateRejectsBadConfig(t *testing.T) {
+	if _, err := Simulate(ControllerConfig{BaselinePct: -3}, StepTrace(0, 1, 1, 4)); err == nil {
+		t.Fatal("invalid config accepted")
+	} else if !strings.Contains(err.Error(), "baseline") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}

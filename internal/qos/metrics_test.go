@@ -1,0 +1,85 @@
+package qos
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"approxnoc/internal/obs"
+)
+
+// TestRegisterMetrics scrapes the qos_* families off a live controller
+// and ledger: the exposition parses, every family is present, and the
+// values mirror the state the control/ledger accessors report.
+func TestRegisterMetrics(t *testing.T) {
+	ctl, err := NewController(ControllerConfig{
+		BaselinePct: 5, MaxPct: 20, StepPct: 5, RaiseAt: 0.75, LowerAt: 0.25, Cooldown: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clock := NewFakeClock(time.Unix(0, 0))
+	ledger, err := NewLedger(map[string]BudgetConfig{
+		"gold":  {Capacity: 10},
+		"batch": {Capacity: 4},
+	}, clock)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctl.Tick(0.9) // raise to 10
+	ctl.Tick(0.9) // raise to 15
+	ctl.Tick(0.1) // lower to 10
+	if err := ledger.Spend("gold", 7); err != nil {
+		t.Fatal(err)
+	}
+	if err := ledger.Spend("batch", 9); !errors.Is(err, ErrBudgetExhausted) {
+		t.Fatalf("overdraft allowed: %v", err)
+	}
+
+	reg := obs.NewRegistry()
+	ctl.RegisterMetrics(reg)
+	ledger.RegisterMetrics(reg)
+	var sb strings.Builder
+	if err := reg.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	exp, err := obs.ParseText(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatalf("qos scrape does not parse: %v", err)
+	}
+
+	for name, want := range map[string]float64{
+		"qos_threshold_pct":                        10,
+		"qos_threshold_baseline_pct":               5,
+		"qos_threshold_max_pct":                    20,
+		"qos_load":                                 0.1,
+		"qos_ticks_total":                          3,
+		`qos_adjustments_total{dir="raise"}`:       2,
+		`qos_adjustments_total{dir="lower"}`:       1,
+		`qos_budget_level{tenant="gold"}`:          3,
+		`qos_budget_level{tenant="batch"}`:         4,
+		`qos_budget_capacity{tenant="gold"}`:       10,
+		`qos_budget_spent_total{tenant="gold"}`:    7,
+		`qos_budget_spent_total{tenant="batch"}`:   0,
+		`qos_budget_rejects_total{tenant="batch"}`: 1,
+		`qos_budget_rejects_total{tenant="gold"}`:  0,
+	} {
+		if got := exp.Values[name]; got != want {
+			t.Errorf("%s = %g, want %g", name, got, want)
+		}
+	}
+
+	// Snapshot mirrors the same state for every tenant at once.
+	snap := ledger.Snapshot()
+	if len(snap) != 2 {
+		t.Fatalf("snapshot has %d tenants, want 2", len(snap))
+	}
+	if s := snap["gold"]; s.Level != 3 || s.Spent != 7 || s.Rejects != 0 {
+		t.Errorf("gold snapshot %+v, want level 3 spent 7 rejects 0", s)
+	}
+	if s := snap["batch"]; s.Level != 4 || s.Spent != 0 || s.Rejects != 1 {
+		t.Errorf("batch snapshot %+v, want level 4 spent 0 rejects 1", s)
+	}
+}

@@ -1,0 +1,181 @@
+package qos
+
+import (
+	"testing"
+	"time"
+
+	"approxnoc/internal/sim"
+)
+
+// propertySeeds is the deterministic seed population every property
+// below replays: 25 splitmix64-derived generators, so a failure names
+// the exact seed to replay.
+const propertySeeds = 25
+
+// randomControllerCfg draws a valid control law: bounded thresholds,
+// ordered watermarks, small steps and cooldowns.
+func randomControllerCfg(rng *sim.Rand) ControllerConfig {
+	base := rng.Intn(21)        // 0..20
+	max := base + rng.Intn(41)  // base..base+40
+	step := 1 + rng.Intn(10)    // 1..10
+	lower := rng.Float64() * .4 // [0, .4)
+	raise := lower + .1 + rng.Float64()*.5
+	return ControllerConfig{
+		BaselinePct: base, MaxPct: max, StepPct: step,
+		RaiseAt: raise, LowerAt: lower, Cooldown: rng.Intn(6),
+	}
+}
+
+// TestPropertyThresholdBounds: for random laws and random traces, the
+// threshold never leaves [BaselinePct, MaxPct].
+func TestPropertyThresholdBounds(t *testing.T) {
+	for seed := uint64(1); seed <= propertySeeds; seed++ {
+		rng := sim.NewRand(seed)
+		cfg := randomControllerCfg(rng)
+		trace := make(Trace, 200)
+		for i := range trace {
+			trace[i] = rng.Float64() * 1.5 // loads beyond 1.0 included
+		}
+		res, err := Simulate(cfg, trace)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		for i, th := range res.Thresholds {
+			if th < cfg.BaselinePct || th > cfg.MaxPct {
+				t.Fatalf("seed %d tick %d: threshold %d outside [%d, %d] (cfg %+v)",
+					seed, i, th, cfg.BaselinePct, cfg.MaxPct, cfg)
+			}
+		}
+	}
+}
+
+// TestPropertyMonotoneInLoad: a pointwise-dominated load trace can
+// never produce a higher threshold at any tick. This is the formal
+// "threshold monotone non-decreasing in observed load" property; it
+// holds because a raise re-arms the dominating trace's cooldown at
+// least as hard, so the invariants t_A <= t_B and cooldown_A <=
+// cooldown_B are preserved by every control step.
+func TestPropertyMonotoneInLoad(t *testing.T) {
+	for seed := uint64(1); seed <= propertySeeds; seed++ {
+		rng := sim.NewRand(seed)
+		cfg := randomControllerCfg(rng)
+		lo := make(Trace, 300)
+		hi := make(Trace, 300)
+		for i := range lo {
+			lo[i] = rng.Float64()
+			hi[i] = lo[i] + rng.Float64()*(1.2-lo[i]) // hi[i] >= lo[i]
+		}
+		resLo, err := Simulate(cfg, lo)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		resHi, err := Simulate(cfg, hi)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		for i := range lo {
+			if resLo.Thresholds[i] > resHi.Thresholds[i] {
+				t.Fatalf("seed %d tick %d: dominated trace got threshold %d > %d (cfg %+v)",
+					seed, i, resLo.Thresholds[i], resHi.Thresholds[i], cfg)
+			}
+		}
+	}
+}
+
+// TestPropertyIdleDecay: whatever state random load leaves the
+// controller in, enough sustained idle returns it exactly to the
+// baseline.
+func TestPropertyIdleDecay(t *testing.T) {
+	for seed := uint64(1); seed <= propertySeeds; seed++ {
+		rng := sim.NewRand(seed)
+		cfg := randomControllerCfg(rng)
+		ctl, err := NewController(cfg)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		for i := 0; i < 100; i++ {
+			ctl.Tick(rng.Float64() * 1.5)
+		}
+		// Worst case: cooldown ticks, then one step per tick down.
+		cfgEff := ctl.Config()
+		need := cfgEff.Cooldown + (cfgEff.MaxPct-cfgEff.BaselinePct)/cfgEff.StepPct + 2
+		for i := 0; i < need; i++ {
+			ctl.Tick(0)
+		}
+		if got := ctl.Threshold(); got != cfgEff.BaselinePct {
+			t.Fatalf("seed %d: idle controller rests at %d%%, want baseline %d%%",
+				seed, got, cfgEff.BaselinePct)
+		}
+	}
+}
+
+// TestPropertyLedgerInvariants replays random spend/refund/advance
+// schedules: the level stays in [0, capacity], the spent total stays
+// non-negative, and a refused spend changes nothing.
+func TestPropertyLedgerInvariants(t *testing.T) {
+	for seed := uint64(1); seed <= propertySeeds; seed++ {
+		rng := sim.NewRand(seed)
+		capacity := 1 + rng.Float64()*100
+		refill := rng.Float64() * 10
+		clock := NewFakeClock(time.Unix(0, 0))
+		l, err := NewLedger(map[string]BudgetConfig{"t": {Capacity: capacity, RefillPerSec: refill}}, clock)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		for op := 0; op < 500; op++ {
+			before := l.Tenant("t")
+			switch rng.Intn(3) {
+			case 0:
+				cost := rng.Float64() * capacity * 1.5
+				if err := l.Spend("t", cost); err != nil {
+					after := l.Tenant("t")
+					if after.Level != before.Level || after.Spent != before.Spent {
+						t.Fatalf("seed %d op %d: refused spend mutated ledger: %+v -> %+v",
+							seed, op, before, after)
+					}
+				}
+			case 1:
+				l.Refund("t", rng.Float64()*capacity)
+			case 2:
+				clock.Advance(time.Duration(rng.Intn(5000)) * time.Millisecond)
+			}
+			snap := l.Tenant("t")
+			if snap.Level < 0 || snap.Level > capacity {
+				t.Fatalf("seed %d op %d: level %g outside [0, %g]", seed, op, snap.Level, capacity)
+			}
+			if snap.Spent < 0 {
+				t.Fatalf("seed %d op %d: negative spent %g", seed, op, snap.Spent)
+			}
+		}
+	}
+}
+
+// TestPropertySimulateDeterministic: the rig is replayable — same
+// seed-derived config and trace, identical trajectory.
+func TestPropertySimulateDeterministic(t *testing.T) {
+	for seed := uint64(1); seed <= propertySeeds; seed++ {
+		build := func() (SimResult, error) {
+			rng := sim.NewRand(seed)
+			cfg := randomControllerCfg(rng)
+			trace := make(Trace, 100)
+			for i := range trace {
+				trace[i] = rng.Float64()
+			}
+			return Simulate(cfg, trace)
+		}
+		a, err := build()
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		b, err := build()
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		for i := range a.Thresholds {
+			if a.Thresholds[i] != b.Thresholds[i] {
+				t.Fatalf("seed %d: replay diverged at tick %d: %d vs %d",
+					seed, i, a.Thresholds[i], b.Thresholds[i])
+			}
+		}
+	}
+}

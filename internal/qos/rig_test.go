@@ -1,0 +1,130 @@
+package qos
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestTraceBuilders pins the scripted load shapes the other tests and
+// BenchmarkQoS replay.
+func TestTraceBuilders(t *testing.T) {
+	if got, want := StepTrace(0, 1, 2, 5), (Trace{0, 0, 1, 1, 1}); !reflect.DeepEqual(got, want) {
+		t.Errorf("StepTrace %v, want %v", got, want)
+	}
+	if got, want := RampTrace(0, 1, 5), (Trace{0, 0.25, 0.5, 0.75, 1}); !reflect.DeepEqual(got, want) {
+		t.Errorf("RampTrace %v, want %v", got, want)
+	}
+	if got, want := RampTrace(0.7, 0.7, 1), (Trace{0.7}); !reflect.DeepEqual(got, want) {
+		t.Errorf("one-tick ramp %v, want %v", got, want)
+	}
+	if got, want := SawtoothTrace(0, 1, 3, 7), (Trace{0, 0.5, 1, 0, 0.5, 1, 0}); !reflect.DeepEqual(got, want) {
+		t.Errorf("SawtoothTrace %v, want %v", got, want)
+	}
+	if got, want := FlappingTrace(0, 1, 4), (Trace{1, 0, 1, 0}); !reflect.DeepEqual(got, want) {
+		t.Errorf("FlappingTrace %v, want %v", got, want)
+	}
+}
+
+// overloadSim is the acceptance scenario: offered load at 4x the
+// baseline service rate for 200 ticks. At the baseline threshold the
+// server drowns; with the controller free to trade quality the service
+// rate grows with the threshold (the paper's threshold-vs-compression
+// curve) until it absorbs the burst.
+func overloadSim(qosOff bool) LoadSim {
+	return LoadSim{
+		Controller: ControllerConfig{StepPct: 5, RaiseAt: 0.5, LowerAt: 0.1},
+		QoSOff:     qosOff,
+		QueueCap:   2000,
+		BaseRate:   100,
+		GainPerPct: 0.1,
+		Arrivals:   StepTrace(400, 400, 0, 200), // 4x overload, every tick
+	}
+}
+
+// TestLoadSimOverloadAcceptance is the PR's acceptance bar: under a
+// scripted 4x overload the QoS-enabled gateway completes >= 95% of
+// offered requests, while the same server without QoS loses most of
+// them to the full queue.
+func TestLoadSimOverloadAcceptance(t *testing.T) {
+	on, err := overloadSim(false).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	off, err := overloadSim(true).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if on.GoodputFrac < 0.95 {
+		t.Errorf("QoS goodput %.4f under 4x overload, want >= 0.95", on.GoodputFrac)
+	}
+	if off.GoodputFrac > 0.5 {
+		t.Errorf("no-QoS goodput %.4f, expected the ablation arm to drown (<= 0.5)", off.GoodputFrac)
+	}
+	if on.GoodputFrac <= off.GoodputFrac {
+		t.Errorf("QoS goodput %.4f not above the ablation's %.4f", on.GoodputFrac, off.GoodputFrac)
+	}
+	// The quality price is bounded by the controller's cap.
+	if cap := 50.0; on.MeanServedPct > cap {
+		t.Errorf("mean served threshold %.1f%% beyond the %g%% cap", on.MeanServedPct, cap)
+	}
+	// The ablation never degrades quality: everything it did serve went
+	// at the baseline.
+	if off.MeanServedPct != 0 {
+		t.Errorf("no-QoS arm served at mean %.1f%%, want baseline 0%%", off.MeanServedPct)
+	}
+	// Conservation: every offered request is either completed or
+	// rejected, in both arms.
+	for name, r := range map[string]LoadSimResult{"qos": on, "off": off} {
+		if r.Completed+r.Rejected != r.Offered {
+			t.Errorf("%s arm leaks requests: %d + %d != %d", name, r.Completed, r.Rejected, r.Offered)
+		}
+	}
+}
+
+// TestLoadSimDeterministic: the sim is a pure function of its knobs.
+func TestLoadSimDeterministic(t *testing.T) {
+	a, err := overloadSim(false).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := overloadSim(false).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("replay diverged:\n%+v\n%+v", a, b)
+	}
+}
+
+// TestLoadSimIdle: offered load below capacity completes fully with
+// the threshold never leaving the baseline.
+func TestLoadSimIdle(t *testing.T) {
+	s := overloadSim(false)
+	s.Arrivals = StepTrace(50, 50, 0, 100) // half the base rate
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.GoodputFrac != 1 {
+		t.Errorf("idle goodput %.4f, want 1", res.GoodputFrac)
+	}
+	for i, th := range res.Thresholds {
+		if th != 0 {
+			t.Fatalf("tick %d: idle load moved the threshold to %d%%", i, th)
+		}
+	}
+}
+
+// TestLoadSimValidation rejects malformed knob shapes.
+func TestLoadSimValidation(t *testing.T) {
+	s := overloadSim(false)
+	s.QueueCap = -1
+	if _, err := s.Run(); err == nil {
+		t.Error("negative queue cap accepted")
+	}
+	s = overloadSim(false)
+	s.Controller.BaselinePct = -2
+	if _, err := s.Run(); err == nil {
+		t.Error("invalid controller config accepted")
+	}
+}

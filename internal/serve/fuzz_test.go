@@ -14,13 +14,17 @@ import (
 )
 
 // sameWireErr reports whether two per-request errors mean the same thing
-// on the wire: both nil, both the overload signal, or the same message.
+// on the wire: both nil, both the overload signal, both the budget
+// refusal, or the same message.
 func sameWireErr(a, b error) bool {
 	if a == nil || b == nil {
 		return a == nil && b == nil
 	}
 	if errors.Is(a, ErrOverloaded) || errors.Is(b, ErrOverloaded) {
 		return errors.Is(a, ErrOverloaded) && errors.Is(b, ErrOverloaded)
+	}
+	if errors.Is(a, ErrBudgetExhausted) || errors.Is(b, ErrBudgetExhausted) {
+		return errors.Is(a, ErrBudgetExhausted) && errors.Is(b, ErrBudgetExhausted)
 	}
 	return a.Error() == b.Error()
 }
@@ -34,6 +38,10 @@ func FuzzProtocolFrame(f *testing.F) {
 	f.Add(okFrame)
 	overFrame, _ := MarshalResponse(Result{Tag: 7, Err: ErrOverloaded})
 	f.Add(overFrame)
+	tenantFrame, _ := MarshalRequest(43, Request{Src: 1, Dst: 2, ThresholdPct: 10, Tenant: "gold", Block: blk})
+	f.Add(tenantFrame)
+	budgetFrame, _ := MarshalResponse(Result{Tag: 7, Err: ErrBudgetExhausted})
+	f.Add(budgetFrame)
 	errFrame, _ := MarshalResponse(Result{Tag: 7, Err: errors.New("boom")})
 	f.Add(errFrame)
 	// The silent-truncation repro: leading uint32 drives the constructed
@@ -58,6 +66,7 @@ func FuzzProtocolFrame(f *testing.F) {
 				want = -1
 			}
 			if id2 != id || req2.Src != req.Src || req2.Dst != req.Dst || got != want ||
+				req2.Tenant != req.Tenant ||
 				!req2.Block.Equal(req.Block) || req2.Block.DType != req.Block.DType ||
 				req2.Block.Approximable != req.Block.Approximable {
 				t.Fatalf("request changed meaning across round trip: %+v vs %+v", req, req2)

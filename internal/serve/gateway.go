@@ -7,6 +7,7 @@ import (
 
 	"approxnoc/internal/compress"
 	"approxnoc/internal/obs"
+	"approxnoc/internal/qos"
 )
 
 // Gateway is the concurrent approximation/compression service. It owns
@@ -18,6 +19,16 @@ type Gateway struct {
 	shards []*shard
 	wg     sync.WaitGroup
 	done   chan struct{} // closed by Close once every worker exited
+
+	// QoS state, zero/nil when Config.QoS is nil. shedAt is the queue
+	// length at or beyond which approximatable submissions are refused
+	// early (0 disables); qosLatNs scales the batch-latency load signal.
+	qosCtl      *qos.Controller
+	ledger      *qos.Ledger
+	shedAt      int
+	qosLatNs    int64
+	samplerStop chan struct{}
+	samplerWg   sync.WaitGroup
 
 	// mu orders Submit against Close: submitters hold it shared while
 	// sending into shard queues, Close holds it exclusively while
@@ -48,6 +59,42 @@ func New(cfg Config) (*Gateway, error) {
 		}
 	}
 	g := &Gateway{cfg: cfg, shards: make([]*shard, cfg.Shards), done: make(chan struct{})}
+	if q := cfg.QoS; q != nil {
+		ctlCfg := q.Controller
+		if ctlCfg.BaselinePct == 0 {
+			ctlCfg.BaselinePct = cfg.ThresholdPct
+		}
+		g.qosCtl, err = qos.NewController(ctlCfg)
+		if err != nil {
+			return nil, fmt.Errorf("serve: %w", err)
+		}
+		if c := g.qosCtl.Config(); c.MaxPct > c.BaselinePct {
+			if _, ok := thresholdAdjuster(factory(0)); !ok {
+				return nil, fmt.Errorf("%w: QoS threshold control needs scheme %v, got %v",
+					ErrThreshold, compress.FPVaxx, cfg.Scheme)
+			}
+		}
+		if len(q.Budgets) > 0 {
+			g.ledger, err = qos.NewLedger(q.Budgets, q.Clock)
+			if err != nil {
+				return nil, fmt.Errorf("serve: %w", err)
+			}
+		}
+		frac := q.ShedFraction
+		if frac == 0 {
+			frac = qos.DefaultShedFraction
+		}
+		if frac > 1 {
+			return nil, fmt.Errorf("serve: shed fraction %g beyond 1", frac)
+		}
+		if frac > 0 {
+			g.shedAt = int(frac * float64(cfg.QueueDepth))
+			if g.shedAt < 1 {
+				g.shedAt = 1
+			}
+		}
+		g.qosLatNs = int64(q.LatencyTarget)
+	}
 	var shared *pool
 	if cfg.Locked {
 		shared = newPool(cfg, factory, &sync.Mutex{})
@@ -57,13 +104,34 @@ func New(cfg Config) (*Gateway, error) {
 		if p == nil {
 			p = newPool(cfg, factory, nil)
 		}
-		g.shards[i] = newShard(i, p, cfg)
+		g.shards[i] = newShard(i, p, cfg, g.qosCtl, g.ledger)
 	}
 	for _, sh := range g.shards {
 		g.wg.Add(1)
 		go sh.run(&g.wg)
 	}
+	if cfg.QoS != nil && cfg.QoS.Interval > 0 {
+		g.samplerStop = make(chan struct{})
+		g.samplerWg.Add(1)
+		go g.sampleLoop(cfg.QoS.Interval)
+	}
 	return g, nil
+}
+
+// sampleLoop is the background control loop: every interval it observes
+// the gateway's load signal and ticks the QoS controller, until Close.
+func (g *Gateway) sampleLoop(interval time.Duration) {
+	defer g.samplerWg.Done()
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			g.QoSTick()
+		case <-g.samplerStop:
+			return
+		}
+	}
 }
 
 // Config returns the gateway's effective configuration (defaults filled).
@@ -109,6 +177,16 @@ func (g *Gateway) Submit(req Request, reply chan<- Result) error {
 		return ErrClosed
 	}
 	sh := g.shardFor(req.Src, req.Dst)
+	// Priority shedding: past the QoS watermark, approximatable requests
+	// are turned away while the queue's remaining slots stay reserved for
+	// exact-class (negative ThresholdPct) traffic, which is only refused
+	// when the queue is truly full.
+	if g.shedAt > 0 && req.ThresholdPct >= 0 && len(sh.queue) >= g.shedAt {
+		sh.rejected.Add(1)
+		sh.shed.Add(1)
+		sh.trace(obs.EvOverload, req.Tag, 1)
+		return ErrOverloaded
+	}
 	select {
 	case sh.queue <- pending{req: req, reply: reply, enq: time.Now()}:
 		sh.accepted.Add(1)
@@ -131,6 +209,63 @@ func (g *Gateway) Do(req Request) (Result, error) {
 	res := <-reply
 	return res, res.Err
 }
+
+// qosLoad is the gateway's load signal: the worst shard's queue
+// occupancy, optionally folded with its last batch service time scaled
+// by the latency target. Reading channel lengths and atomics only, it
+// never blocks a worker.
+func (g *Gateway) qosLoad() float64 {
+	var load float64
+	for _, sh := range g.shards {
+		if q := float64(len(sh.queue)) / float64(g.cfg.QueueDepth); q > load {
+			load = q
+		}
+		if g.qosLatNs > 0 {
+			if l := float64(sh.lastBatch.Load()) / float64(g.qosLatNs); l > load {
+				load = l
+			}
+		}
+	}
+	return load
+}
+
+// QoSTick runs one control step: observe the load signal, tick the
+// controller, return the resulting default threshold. Without QoS it
+// reports the configured threshold unchanged. The background sampler
+// (Config.QoS.Interval > 0) calls this on a timer; deterministic tests
+// call it directly instead.
+func (g *Gateway) QoSTick() int {
+	if g.qosCtl == nil {
+		return g.cfg.ThresholdPct
+	}
+	return g.qosCtl.Tick(g.qosLoad())
+}
+
+// QoSThreshold returns the current effective default threshold — the
+// configured one, unless the QoS controller has moved it.
+func (g *Gateway) QoSThreshold() int {
+	if g.qosCtl == nil {
+		return g.cfg.ThresholdPct
+	}
+	return g.qosCtl.Threshold()
+}
+
+// QoSController exposes the gateway's control loop (nil without QoS),
+// for metric registration and tests.
+func (g *Gateway) QoSController() *qos.Controller { return g.qosCtl }
+
+// Budgets snapshots every tenant's error-budget state; nil when no
+// budgets are configured.
+func (g *Gateway) Budgets() map[string]qos.BudgetSnapshot {
+	if g.ledger == nil {
+		return nil
+	}
+	return g.ledger.Snapshot()
+}
+
+// Ledger exposes the gateway's budget book (nil without budgets), for
+// metric registration and tests.
+func (g *Gateway) Ledger() *qos.Ledger { return g.ledger }
 
 // Metrics snapshots the per-shard counters and their aggregate.
 func (g *Gateway) Metrics() Metrics {
@@ -199,6 +334,10 @@ func (g *Gateway) Close() error {
 		close(sh.queue)
 	}
 	g.mu.Unlock()
+	if g.samplerStop != nil {
+		close(g.samplerStop)
+		g.samplerWg.Wait()
+	}
 	g.wg.Wait()
 	close(g.done)
 	return nil

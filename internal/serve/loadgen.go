@@ -29,6 +29,13 @@ type Loadgen struct {
 	// Conns, spreading any remainder one extra request at a time (0
 	// means 10000).
 	Records int
+	// Tenant stamps every generated request with a QoS tenant name, so
+	// the replay spends that tenant's error budget ("" means unbudgeted).
+	Tenant string
+	// ThresholdPct is the per-request threshold override applied to every
+	// generated request (DefaultThreshold uses the gateway's, possibly
+	// QoS-raised, default; ThresholdExact forces exact-class traffic).
+	ThresholdPct int
 }
 
 // withDefaults fills zero knobs and validates the load shape.
@@ -57,8 +64,10 @@ func (lg Loadgen) withDefaults() (Loadgen, error) {
 // LoadgenResult is one loopback throughput measurement.
 type LoadgenResult struct {
 	// Records is the number of requests completed; Retries counts
-	// ErrOverloaded re-submissions on top of them.
-	Records, Retries int
+	// ErrOverloaded re-submissions on top of them. BudgetRefused counts
+	// records answered with ErrBudgetExhausted — settled, not retried,
+	// since the refusal is a definitive per-request answer.
+	Records, Retries, BudgetRefused int
 	// Elapsed is the wall time of the replay (setup excluded).
 	Elapsed time.Duration
 	// RecordsPerSec is the headline throughput.
@@ -134,6 +143,7 @@ func (r *LoadgenRig) Run(records int) (LoadgenResult, error) {
 	var wg sync.WaitGroup
 	errs := make(chan error, len(r.clients))
 	retries := make([]int, len(r.clients))
+	refused := make([]int, len(r.clients))
 	start := time.Now()
 	for c, cl := range r.clients {
 		// Spread the remainder so every record is issued exactly once.
@@ -154,6 +164,12 @@ func (r *LoadgenRig) Run(records int) (LoadgenResult, error) {
 				if call.Err == nil {
 					return nil
 				}
+				if errors.Is(call.Err, ErrBudgetExhausted) {
+					// A definitive answer, not backpressure: the record
+					// settles as refused rather than being re-issued.
+					refused[c]++
+					return nil
+				}
 				if errors.Is(call.Err, ErrOverloaded) {
 					// Back off and re-issue: backpressure is expected
 					// under a deep pipeline, the record still counts
@@ -172,7 +188,8 @@ func (r *LoadgenRig) Run(records int) (LoadgenResult, error) {
 					cl.Go(Request{
 						Src: src, Dst: (src + 1) % r.nodes,
 						Block:        r.blocks[(c+sent)%len(r.blocks)],
-						ThresholdPct: DefaultThreshold,
+						ThresholdPct: r.lg.ThresholdPct,
+						Tenant:       r.lg.Tenant,
 					}, done)
 					outstanding++
 					sent++
@@ -212,6 +229,9 @@ func (r *LoadgenRig) Run(records int) (LoadgenResult, error) {
 	}
 	for _, n := range retries {
 		res.Retries += n
+	}
+	for _, n := range refused {
+		res.BudgetRefused += n
 	}
 	res.PayloadMBPerSec = res.RecordsPerSec * float64(4*r.lg.Words) / (1 << 20)
 	return res, nil

@@ -13,8 +13,13 @@ type ShardMetrics struct {
 	// Shard is the shard index.
 	Shard int
 	// Accepted and Rejected count submissions: Rejected were turned away
-	// with ErrOverloaded by the bounded queue.
-	Accepted, Rejected uint64
+	// with ErrOverloaded by the bounded queue. Shed is the subset of
+	// Rejected refused early by the QoS watermark while exact-class slots
+	// remained.
+	Accepted, Rejected, Shed uint64
+	// BudgetRejected counts requests refused with ErrBudgetExhausted
+	// (counted under Processed, not Rejected: they reached the worker).
+	BudgetRejected uint64
 	// Processed counts requests the worker completed (including ones
 	// that failed with a per-request error).
 	Processed uint64
@@ -49,13 +54,14 @@ func (m ShardMetrics) CompressionRatio() float64 {
 type Metrics struct {
 	Shards []ShardMetrics
 
-	Accepted, Rejected uint64
-	Processed          uint64
-	Batches, Coalesced uint64
-	DroppedReplies     uint64
-	BitsIn, BitsOut    uint64
-	BytesIn, BytesOut  uint64
-	P50, P99           time.Duration
+	Accepted, Rejected, Shed uint64
+	BudgetRejected           uint64
+	Processed                uint64
+	Batches, Coalesced       uint64
+	DroppedReplies           uint64
+	BitsIn, BitsOut          uint64
+	BytesIn, BytesOut        uint64
+	P50, P99                 time.Duration
 }
 
 // CompressionRatio returns the aggregate BitsIn / BitsOut.
@@ -73,6 +79,8 @@ func aggregate(shards []ShardMetrics) Metrics {
 	for _, s := range shards {
 		m.Accepted += s.Accepted
 		m.Rejected += s.Rejected
+		m.Shed += s.Shed
+		m.BudgetRejected += s.BudgetRejected
 		m.Processed += s.Processed
 		m.Batches += s.Batches
 		m.Coalesced += s.Coalesced
@@ -99,6 +107,9 @@ func (m Metrics) String() string {
 	fmt.Fprintf(&b, "payload             %d bytes in, %d bytes out, ratio %.3f\n",
 		m.BytesIn, m.BytesOut, m.CompressionRatio())
 	fmt.Fprintf(&b, "service latency     p50 %v  p99 %v", m.P50, m.P99)
+	if m.Shed > 0 || m.BudgetRejected > 0 {
+		fmt.Fprintf(&b, "\nqos                 %d shed, %d budget-refused", m.Shed, m.BudgetRejected)
+	}
 	if m.DroppedReplies > 0 {
 		fmt.Fprintf(&b, "\ndropped replies     %d", m.DroppedReplies)
 	}

@@ -44,6 +44,16 @@ func (g *Gateway) RegisterMetrics(reg *obs.Registry) {
 		func(sh *shard) uint64 { return sh.bitsIn.Load() })
 	counter("serve_bits_out_total", "encoded payload bits",
 		func(sh *shard) uint64 { return sh.bitsOut.Load() })
+	if g.qosCtl != nil {
+		counter("qos_shed_total", "approximatable requests refused early by the shed watermark",
+			func(sh *shard) uint64 { return sh.shed.Load() })
+		counter("qos_budget_refused_total", "requests refused with ErrBudgetExhausted",
+			func(sh *shard) uint64 { return sh.budgetRej.Load() })
+		g.qosCtl.RegisterMetrics(reg)
+	}
+	if g.ledger != nil {
+		g.ledger.RegisterMetrics(reg)
+	}
 
 	reg.Collector("serve_queue_depth", "requests waiting in each shard queue",
 		obs.TypeGauge, []string{"shard"}, func() []obs.Sample {

@@ -12,24 +12,37 @@ import (
 // Wire protocol: every message is a frame of a big-endian uint32 payload
 // length followed by that many payload bytes.
 //
-//	request:  kind(1) id(8) src(2) dst(2) threshold(int16) dtype(1)
-//	          approx(1) nwords(2) words(4*nwords)
-//	response: kind(2) id(8) status(1) then
-//	          status ok:         dtype(1) approx(1) nwords(2)
-//	                             words(4*nwords) bitsIn(4) bitsOut(4)
-//	          status overloaded: nothing
-//	          status error:      msglen(2) msg(msglen)
+//	request v1:  kind(1)=1 id(8) src(2) dst(2) threshold(int16) dtype(1)
+//	             approx(1) nwords(2) words(4*nwords)
+//	request v2:  kind(1)=3 id(8) src(2) dst(2) threshold(int16)
+//	             tlen(1) tenant(tlen) dtype(1) approx(1) nwords(2)
+//	             words(4*nwords)
+//	response:    kind(2) id(8) status(1) then
+//	             status ok:         dtype(1) approx(1) nwords(2)
+//	                                words(4*nwords) bitsIn(4) bitsOut(4)
+//	             status overloaded: nothing
+//	             status error:      msglen(2) msg(msglen)
+//	             status budget:     nothing
 //
 // The threshold follows Request.ThresholdPct semantics: 0 means the
 // gateway's configured default, negative means ThresholdExact. Responses
 // may arrive out of order; clients match them to requests by id.
+//
+// The v2 request frame is the QoS version bump: it carries the tenant
+// name for budget accounting. Decoding is backward compatible — both
+// kinds are accepted and a v1 frame simply has no tenant — and the
+// encoder emits v1 whenever the tenant is empty, so tenantless traffic
+// (and every pre-QoS golden vector and fuzz seed) is byte-identical to
+// the old format and keeps working against old servers.
 const (
-	msgRequest  = 1
-	msgResponse = 2
+	msgRequest   = 1
+	msgResponse  = 2
+	msgRequestV2 = 3
 
 	statusOK         = 0
 	statusOverloaded = 1
 	statusError      = 2
+	statusBudget     = 3
 
 	// maxFrame bounds a frame payload; blocks are cache lines, so even
 	// generous metadata stays far below this.
@@ -48,6 +61,9 @@ const (
 	// FuzzProtocolFrame; seed committed under
 	// internal/serve/testdata/fuzz).
 	MaxBlockWords = 1<<16 - 1
+	// MaxTenantBytes is the longest tenant name the v2 request frame
+	// can carry: its length travels as one byte.
+	MaxTenantBytes = 255
 )
 
 // validateWireBlock rejects blocks the frame format cannot represent.
@@ -61,11 +77,20 @@ func validateWireBlock(blk *value.Block) error {
 	return nil
 }
 
+// validateWireRequest rejects requests the frame format cannot
+// represent.
+func validateWireRequest(req Request) error {
+	if len(req.Tenant) > MaxTenantBytes {
+		return fmt.Errorf("serve: tenant of %d bytes exceeds wire limit %d", len(req.Tenant), MaxTenantBytes)
+	}
+	return validateWireBlock(req.Block)
+}
+
 // MarshalRequest serializes a request frame payload under the given wire
 // id. It fails if the block is missing, empty, or too large for the
-// uint16 word count.
+// uint16 word count, or if the tenant name exceeds MaxTenantBytes.
 func MarshalRequest(id uint64, req Request) ([]byte, error) {
-	if err := validateWireBlock(req.Block); err != nil {
+	if err := validateWireRequest(req); err != nil {
 		return nil, err
 	}
 	return appendRequest(nil, id, req), nil
@@ -99,7 +124,7 @@ func UnmarshalResponse(p []byte) (Result, error) {
 // arena and hand the whole batch to one Write. On error b is returned
 // unchanged.
 func appendRequestFrame(b []byte, id uint64, req Request) ([]byte, error) {
-	if err := validateWireBlock(req.Block); err != nil {
+	if err := validateWireRequest(req); err != nil {
 		return b, err
 	}
 	start := len(b)
@@ -211,9 +236,15 @@ func boolByte(b bool) byte {
 	return 0
 }
 
-// appendRequest serializes a request under the given id.
+// appendRequest serializes a request under the given id: the v1 frame
+// when no tenant is set (byte-identical to the pre-QoS format), the v2
+// frame otherwise.
 func appendRequest(b []byte, id uint64, req Request) []byte {
-	b = append(b, msgRequest)
+	kind := byte(msgRequest)
+	if req.Tenant != "" {
+		kind = msgRequestV2
+	}
+	b = append(b, kind)
 	b = binary.BigEndian.AppendUint64(b, id)
 	b = binary.BigEndian.AppendUint16(b, uint16(req.Src))
 	b = binary.BigEndian.AppendUint16(b, uint16(req.Dst))
@@ -222,12 +253,16 @@ func appendRequest(b []byte, id uint64, req Request) []byte {
 		pct = -1
 	}
 	b = binary.BigEndian.AppendUint16(b, uint16(int16(pct)))
+	if kind == msgRequestV2 {
+		b = append(b, byte(len(req.Tenant)))
+		b = append(b, req.Tenant...)
+	}
 	return appendBlock(b, req.Block)
 }
 
-// parseRequest decodes a request frame.
+// parseRequest decodes a request frame, either version.
 func parseRequest(p []byte) (id uint64, req Request, err error) {
-	if len(p) < 15 || p[0] != msgRequest {
+	if len(p) < 15 || (p[0] != msgRequest && p[0] != msgRequestV2) {
 		return 0, req, errors.New("serve: malformed request frame")
 	}
 	id = binary.BigEndian.Uint64(p[1:])
@@ -235,7 +270,19 @@ func parseRequest(p []byte) (id uint64, req Request, err error) {
 	req.Dst = int(binary.BigEndian.Uint16(p[11:]))
 	req.ThresholdPct = int(int16(binary.BigEndian.Uint16(p[13:])))
 	req.Tag = id
-	blk, rest, err := parseBlock(p[15:])
+	rest := p[15:]
+	if p[0] == msgRequestV2 {
+		if len(rest) < 1 {
+			return 0, req, errors.New("serve: truncated tenant length")
+		}
+		n := int(rest[0])
+		if len(rest)-1 < n {
+			return 0, req, errors.New("serve: truncated tenant")
+		}
+		req.Tenant = string(rest[1 : 1+n])
+		rest = rest[1+n:]
+	}
+	blk, rest, err := parseBlock(rest)
 	if err != nil {
 		return 0, req, err
 	}
@@ -258,6 +305,8 @@ func appendResponse(b []byte, res Result) []byte {
 		b = binary.BigEndian.AppendUint32(b, uint32(res.BitsOut))
 	case errors.Is(res.Err, ErrOverloaded):
 		b = append(b, statusOverloaded)
+	case errors.Is(res.Err, ErrBudgetExhausted):
+		b = append(b, statusBudget)
 	default:
 		msg := res.Err.Error()
 		if len(msg) > 1<<16-1 {
@@ -294,6 +343,8 @@ func parseResponse(p []byte) (Result, error) {
 		res.BitsOut = int(binary.BigEndian.Uint32(rest[4:]))
 	case statusOverloaded:
 		res.Err = ErrOverloaded
+	case statusBudget:
+		res.Err = ErrBudgetExhausted
 	case statusError:
 		if len(rest) < 2 {
 			return res, errors.New("serve: truncated error message")

@@ -36,6 +36,7 @@ import (
 
 	"approxnoc/internal/compress"
 	"approxnoc/internal/obs"
+	"approxnoc/internal/qos"
 	"approxnoc/internal/value"
 )
 
@@ -58,6 +59,13 @@ var (
 	// that cannot adjust thresholds at run time.
 	ErrThreshold = errors.New("serve: scheme does not support per-request thresholds")
 )
+
+// ErrBudgetExhausted reports a request whose tenant's error budget
+// cannot cover its cost; it round-trips over the wire like
+// ErrOverloaded so clients can match it with errors.Is. It is a
+// definitive per-request answer: the request was not executed and was
+// not charged, and retrying on another node cannot change the verdict.
+var ErrBudgetExhausted = qos.ErrBudgetExhausted
 
 // Request.ThresholdPct sentinels. The zero value selects the gateway's
 // configured threshold so a literal Request{Src, Dst, Block} does the
@@ -83,11 +91,55 @@ type Request struct {
 	// one, positive values set the per-word error bound, and
 	// ThresholdExact (or any negative value) forces exact operation.
 	// Overrides that change the effective threshold require the scheme to
-	// implement compress.ThresholdAdjuster.
+	// implement compress.ThresholdAdjuster. See EffectiveThreshold for
+	// the exact resolution rules against a QoS-controlled default.
 	ThresholdPct int
+	// Tenant names the traffic class for QoS accounting: budgeted
+	// tenants spend error mass per approximated request and are refused
+	// with ErrBudgetExhausted when their budget runs dry. Empty (and
+	// any tenant without a configured budget) means unbudgeted. At most
+	// MaxTenantBytes bytes; the wire protocol carries it in a
+	// version-bumped request frame, so tenantless requests stay
+	// byte-identical to the v1 format.
+	Tenant string
 	// Tag is opaque to the gateway and echoed in the Result; the TCP
 	// server keys in-flight requests by it.
 	Tag uint64
+}
+
+// EffectiveThreshold resolves a request's ThresholdPct against the
+// gateway's current default (which QoS may have raised above the
+// configured one). The rules, in priority order:
+//
+//	reqPct == DefaultThreshold (0)   use defaultPct, clamped to [0,100]
+//	reqPct < 0 (ThresholdExact)      exact: 0, whatever QoS wants
+//	otherwise                        honor reqPct as given — including
+//	                                 out-of-range values beyond 100,
+//	                                 which the codec then rejects with
+//	                                 its own range error
+//
+// An explicit demand always wins over the QoS default: a raised
+// default can never loosen a request that asked for a tighter bound
+// (or for exact operation), it only moves requests that left the
+// choice to the gateway. Only the *default* arm clamps: the QoS
+// controller's output is trusted into [0,100], while a caller's
+// explicit out-of-range demand must keep failing loudly rather than
+// being silently rounded to the loosest bound.
+func EffectiveThreshold(reqPct, defaultPct int) int {
+	switch {
+	case reqPct == DefaultThreshold:
+		if defaultPct < 0 {
+			return 0
+		}
+		if defaultPct > 100 {
+			return 100
+		}
+		return defaultPct
+	case reqPct < 0:
+		return 0
+	default:
+		return reqPct
+	}
 }
 
 // Result is the gateway's answer to one Request.
@@ -137,6 +189,16 @@ type Config struct {
 	// never blocks a shard worker: contended events are counted as
 	// dropped by the tracer instead.
 	Tracer *obs.Tracer
+	// QoS, when non-nil, enables the load-driven admission/quality
+	// controller: a control loop raises the effective default threshold
+	// as queue depth and batch latency climb (degrading quality before
+	// refusing work), per-tenant error budgets refuse exhausted tenants
+	// with ErrBudgetExhausted, and approximatable traffic sheds before
+	// exact-class traffic once a queue passes its shed watermark.
+	// Threshold control needs a scheme implementing
+	// compress.ThresholdAdjuster (FP-VAXX). The zero Controller
+	// baseline inherits ThresholdPct.
+	QoS *qos.Config
 }
 
 // DefaultConfig returns a gateway configuration for the paper's main

@@ -8,6 +8,7 @@ import (
 
 	"approxnoc/internal/compress"
 	"approxnoc/internal/obs"
+	"approxnoc/internal/qos"
 	"approxnoc/internal/stats"
 )
 
@@ -34,24 +35,35 @@ func newPool(cfg Config, factory func(node int) compress.Codec, mu *sync.Mutex) 
 	return p
 }
 
-// transfer moves one request's block through the src/dst codec pair,
+// thresholdAdjuster finds the codec's threshold control, unwrapping
+// decorators (the Adaptive on/off controller) the way the dictionary
+// introspectors do, so a wrapped FP-VAXX still honors per-request and
+// QoS thresholds.
+func thresholdAdjuster(c compress.Codec) (compress.ThresholdAdjuster, bool) {
+	for {
+		if adj, ok := c.(compress.ThresholdAdjuster); ok {
+			return adj, true
+		}
+		u, ok := c.(interface{ Unwrap() compress.Codec })
+		if !ok {
+			return nil, false
+		}
+		c = u.Unwrap()
+	}
+}
+
+// transfer moves one request's block through the src/dst codec pair at
+// the already-resolved effective threshold (see EffectiveThreshold),
 // settling dictionary notifications, and returns the observed block plus
 // payload accounting. Only the pool's owning worker (or lock holder) may
 // call it.
-func (p *pool) transfer(req Request, defaultPct int) Result {
+func (p *pool) transfer(req Request, want int) Result {
 	if p.mu != nil {
 		p.mu.Lock()
 		defer p.mu.Unlock()
 	}
-	want := req.ThresholdPct
-	switch {
-	case want == DefaultThreshold:
-		want = defaultPct
-	case want < 0: // ThresholdExact and any other negative
-		want = 0
-	}
 	if want != p.threshold[req.Src] {
-		adj, ok := p.fabric.Codec(req.Src).(compress.ThresholdAdjuster)
+		adj, ok := thresholdAdjuster(p.fabric.Codec(req.Src))
 		if !ok {
 			return Result{Tag: req.Tag, Err: fmt.Errorf("%w: %v", ErrThreshold, p.fabric.Codec(req.Src).Scheme())}
 		}
@@ -101,11 +113,21 @@ type shard struct {
 	tracer     *obs.Tracer // nil when tracing is disabled
 	epoch      time.Time   // event timestamps are nanoseconds since here
 
+	// QoS hooks, both nil when the gateway runs without a QoS config.
+	// qosCtl supplies the (possibly raised) default threshold; ledger
+	// charges budgeted tenants at execution time — not at Submit — so
+	// overload rejections are free and a request is charged exactly once
+	// no matter how many times a cluster client retried its submission.
+	qosCtl *qos.Controller
+	ledger *qos.Ledger
+
 	// Counters are atomics: accepted/rejected are bumped by submitting
 	// goroutines, the rest by the worker, and all are read concurrently
 	// by Metrics.
 	accepted  atomic.Uint64
 	rejected  atomic.Uint64
+	shed      atomic.Uint64 // approximatable requests refused early by QoS
+	budgetRej atomic.Uint64 // requests refused with ErrBudgetExhausted
 	processed atomic.Uint64
 	batches   atomic.Uint64
 	coalesced atomic.Uint64
@@ -114,10 +136,11 @@ type shard struct {
 	bitsOut   atomic.Uint64
 	bytesIn   atomic.Uint64
 	bytesOut  atomic.Uint64
+	lastBatch atomic.Int64 // last batch service time, ns per request
 	lat       stats.LatencyHist
 }
 
-func newShard(id int, p *pool, cfg Config) *shard {
+func newShard(id int, p *pool, cfg Config, qosCtl *qos.Controller, ledger *qos.Ledger) *shard {
 	return &shard{
 		id:         id,
 		pool:       p,
@@ -128,6 +151,8 @@ func newShard(id int, p *pool, cfg Config) *shard {
 		maxBatch:   cfg.MaxBatch,
 		tracer:     cfg.Tracer,
 		epoch:      time.Now(),
+		qosCtl:     qosCtl,
+		ledger:     ledger,
 	}
 }
 
@@ -186,6 +211,34 @@ func (s *shard) trace(kind obs.EventKind, a, b uint64) {
 	})
 }
 
+// serveOne resolves one request's effective threshold against the QoS
+// controller (when present), charges the tenant's error budget before
+// touching the codecs, and refunds the charge if the transfer itself
+// fails — so spent error mass sums to exactly the mass of blocks that
+// were actually approximated.
+func (s *shard) serveOne(req Request) Result {
+	pct := s.defaultPct
+	if s.qosCtl != nil {
+		pct = s.qosCtl.Threshold()
+	}
+	eff := EffectiveThreshold(req.ThresholdPct, pct)
+	var charged float64
+	if s.ledger != nil && req.Tenant != "" && eff > 0 {
+		cost := qos.Cost(eff, len(req.Block.Words))
+		if err := s.ledger.Spend(req.Tenant, cost); err != nil {
+			s.budgetRej.Add(1)
+			s.trace(obs.EvOverload, req.Tag, uint64(eff))
+			return Result{Tag: req.Tag, Err: err}
+		}
+		charged = cost
+	}
+	res := s.pool.transfer(req, eff)
+	if res.Err != nil && charged > 0 {
+		s.ledger.Refund(req.Tenant, charged)
+	}
+	return res
+}
+
 // process services one coalesced batch.
 func (s *shard) process(batch []pending) {
 	s.batches.Add(1)
@@ -193,8 +246,9 @@ func (s *shard) process(batch []pending) {
 		s.coalesced.Add(uint64(len(batch)))
 	}
 	s.trace(obs.EvBatch, uint64(len(batch)), 0)
+	start := time.Now()
 	for _, p := range batch {
-		res := s.pool.transfer(p.req, s.defaultPct)
+		res := s.serveOne(p.req)
 		if res.Err == nil {
 			s.bitsIn.Add(uint64(res.BitsIn))
 			s.bitsOut.Add(uint64(res.BitsOut))
@@ -216,6 +270,9 @@ func (s *shard) process(batch []pending) {
 			}
 		}
 	}
+	// Per-request service time of the batch just served — the latency
+	// signal the QoS sampler folds into its load observation.
+	s.lastBatch.Store(int64(time.Since(start)) / int64(len(batch)))
 }
 
 // metrics snapshots the shard's counters.
@@ -225,6 +282,8 @@ func (s *shard) metrics() ShardMetrics {
 		Shard:          s.id,
 		Accepted:       s.accepted.Load(),
 		Rejected:       s.rejected.Load(),
+		Shed:           s.shed.Load(),
+		BudgetRejected: s.budgetRej.Load(),
 		Processed:      s.processed.Load(),
 		Batches:        s.batches.Load(),
 		Coalesced:      s.coalesced.Load(),

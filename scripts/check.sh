@@ -75,18 +75,21 @@ go tool cover -func "$coverprofile" | tail -1
 echo "coverage profile: $coverprofile"
 
 # The observability layer is the instrumentation everything else leans
-# on, so it carries an explicit coverage floor.
-echo '>> internal/obs coverage floor (85%)'
-obs_cover=$(go test -short -cover ./internal/obs | sed -n 's/.*coverage: \([0-9.]*\)% of statements.*/\1/p')
-if [ -z "$obs_cover" ]; then
-    echo "could not determine internal/obs coverage" >&2
-    exit 1
-fi
-echo "internal/obs coverage: ${obs_cover}%"
-if awk "BEGIN { exit !($obs_cover < 85) }"; then
-    echo "internal/obs coverage ${obs_cover}% is below the 85% floor" >&2
-    exit 1
-fi
+# on, and the QoS controller decides how much error every tenant eats
+# under load — both carry an explicit coverage floor.
+for pkg in internal/obs internal/qos; do
+    echo ">> $pkg coverage floor (85%)"
+    pkg_cover=$(go test -short -cover "./$pkg" | sed -n 's/.*coverage: \([0-9.]*\)% of statements.*/\1/p')
+    if [ -z "$pkg_cover" ]; then
+        echo "could not determine $pkg coverage" >&2
+        exit 1
+    fi
+    echo "$pkg coverage: ${pkg_cover}%"
+    if awk "BEGIN { exit !($pkg_cover < 85) }"; then
+        echo "$pkg coverage ${pkg_cover}% is below the 85% floor" >&2
+        exit 1
+    fi
+done
 
 if [ "${FUZZ:-0}" = "1" ]; then
     echo '>> fuzz smoke'
