@@ -1,0 +1,27 @@
+package approx
+
+import (
+	"testing"
+
+	"approxnoc/internal/value"
+)
+
+// The AVCL sits inside the per-word encode loop of every VAXX scheme, so
+// it must stay allocation-free: one allocation here multiplies by every
+// word of every block the codecs touch. check.sh runs this gate without
+// -race (the race runtime itself allocates).
+func TestAVCLZeroAllocs(t *testing.T) {
+	a := MustNew(10)
+	words := []value.Word{0, 1, 0x7F, 0x80, 0xFFFF, 0x3F80_0000, 0x7F80_0000, 0xDEAD_BEEF}
+	i := 0
+	allocs := testing.AllocsPerRun(500, func() {
+		w := words[i%len(words)]
+		i++
+		a.MaskWord(w, value.Int32)
+		a.MaskWord(w, value.Float32)
+		a.WithinThreshold(w, w&^0xF, value.Int32)
+	})
+	if allocs != 0 {
+		t.Errorf("AVCL hot path allocates %.1f objects/op, want 0", allocs)
+	}
+}

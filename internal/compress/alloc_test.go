@@ -1,0 +1,108 @@
+package compress
+
+import (
+	"testing"
+
+	"approxnoc/internal/value"
+	"approxnoc/internal/workload"
+)
+
+// Steady-state allocation gates for the scratch encode path: after a
+// warmup pass sizes every reusable buffer, CompressScratch must not
+// allocate at all. check.sh runs these without -race (the race runtime
+// itself allocates).
+
+func allocBlocks(t testing.TB) []*value.Block {
+	t.Helper()
+	m, err := workload.ByName("ssca2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := m.NewSource(3, 0.75)
+	blocks := make([]*value.Block, 64)
+	for i := range blocks {
+		blocks[i] = src.NextBlock()
+	}
+	return blocks
+}
+
+func gateZeroAllocs(t *testing.T, name string, se ScratchEncoder, blocks []*value.Block) {
+	t.Helper()
+	// Warmup: let every scratch buffer reach its steady-state capacity.
+	for _, blk := range blocks {
+		se.CompressScratch(1, blk)
+	}
+	i := 0
+	allocs := testing.AllocsPerRun(200, func() {
+		se.CompressScratch(1, blocks[i%len(blocks)])
+		i++
+	})
+	if allocs != 0 {
+		t.Errorf("%s: CompressScratch allocates %.1f objects/block in steady state, want 0", name, allocs)
+	}
+}
+
+func TestScratchZeroAllocs(t *testing.T) {
+	blocks := allocBlocks(t)
+	for name, pair := range scratchCodecs(t) {
+		se, ok := pair[0].(ScratchEncoder)
+		if !ok {
+			t.Fatalf("%s does not implement ScratchEncoder", name)
+		}
+		t.Run(name, func(t *testing.T) { gateZeroAllocs(t, name, se, blocks) })
+	}
+}
+
+// TestScratchZeroAllocsDict gates the dictionary schemes with their PMTs
+// warmed by real traffic, so the encode path exercises CAM/TCAM hits and
+// the per-destination index vectors, not just the raw fallback.
+func TestScratchZeroAllocsDict(t *testing.T) {
+	blocks := allocBlocks(t)
+	for _, scheme := range []Scheme{DIComp, DIVaxx} {
+		t.Run(scheme.String(), func(t *testing.T) {
+			const nodes = 2
+			factory, err := FactoryFor(scheme, nodes, 10)
+			if err != nil {
+				t.Fatal(err)
+			}
+			f := NewFabric(nodes, factory)
+			// Warm the decoder candidate tables and encoder PMTs.
+			for i := 0; i < 4; i++ {
+				for _, blk := range blocks {
+					f.Transfer(0, 1, blk)
+				}
+			}
+			se, ok := f.Codec(0).(ScratchEncoder)
+			if !ok {
+				t.Fatalf("%v does not implement ScratchEncoder", scheme)
+			}
+			gateZeroAllocs(t, scheme.String(), se, blocks)
+		})
+	}
+}
+
+// TestFabricTransferSteadyAllocs bounds the whole offline transfer loop:
+// the encode side must contribute nothing, leaving only the decode-side
+// block construction (and occasional dictionary protocol churn).
+func TestFabricTransferSteadyAllocs(t *testing.T) {
+	blocks := allocBlocks(t)
+	factory, err := FactoryFor(FPVaxx, 2, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := NewFabric(2, factory)
+	for _, blk := range blocks {
+		f.Transfer(0, 1, blk)
+	}
+	i := 0
+	allocs := testing.AllocsPerRun(200, func() {
+		f.Transfer(0, 1, blocks[i%len(blocks)])
+		i++
+	})
+	// Decompress builds one fresh *value.Block per transfer: the header,
+	// its Words array, and the decode staging. Everything beyond that
+	// small constant would mean the encode path regressed.
+	if allocs > 4 {
+		t.Errorf("Transfer allocates %.1f objects/block in steady state, want <= 4 (decode side only)", allocs)
+	}
+}

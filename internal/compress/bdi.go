@@ -40,6 +40,12 @@ type bdiCodec struct {
 	scheme Scheme
 	avcl   *approx.AVCL
 	stats  OpStats
+	// tryScratch holds the candidate word encodings for the width attempt
+	// in flight; winners are copied out, so the buffer is safe to reuse on
+	// the next attempt (and across blocks).
+	tryScratch []WordEnc
+	// scratch backs CompressScratch (see ScratchEncoder).
+	scratch encodeScratch
 }
 
 // NewBDComp returns the exact base-delta codec.
@@ -79,7 +85,10 @@ func clampSigned(delta int64, bits uint) int64 {
 // tryWidth attempts to encode the whole block at one delta width,
 // approximating out-of-range words when the codec and annotation allow.
 func (c *bdiCodec) tryWidth(blk *value.Block, base value.Word, bits uint) ([]WordEnc, bool) {
-	words := make([]WordEnc, len(blk.Words))
+	if cap(c.tryScratch) < len(blk.Words) {
+		c.tryScratch = make([]WordEnc, len(blk.Words))
+	}
+	words := c.tryScratch[:len(blk.Words)]
 	for i, w := range blk.Words {
 		delta := int64(int32(w)) - int64(int32(base))
 		if fitsSigned(delta, bits) {
@@ -105,15 +114,35 @@ func (c *bdiCodec) tryWidth(blk *value.Block, base value.Word, bits uint) ([]Wor
 }
 
 func (c *bdiCodec) Compress(dst int, blk *value.Block) *Encoded {
+	return c.compress(blk, &Encoded{}, &bitWriter{}, nil)
+}
+
+// CompressScratch implements ScratchEncoder: identical encoding into
+// codec-owned buffers valid until the next CompressScratch call.
+func (c *bdiCodec) CompressScratch(dst int, blk *value.Block) *Encoded {
+	c.scratch.w.Reset()
+	enc := c.compress(blk, &c.scratch.enc, &c.scratch.w, c.scratch.words[:0])
+	c.scratch.words = enc.Words // keep the grown capacity for reuse
+	return enc
+}
+
+func (c *bdiCodec) compress(blk *value.Block, enc *Encoded, w *bitWriter, words []WordEnc) *Encoded {
 	c.stats.BlocksIn++
 	c.stats.WordsIn += uint64(len(blk.Words))
 	c.stats.BitsIn += uint64(32 * len(blk.Words))
 	c.stats.EncodeOps += uint64(len(blk.Words))
 
-	w := &bitWriter{}
 	// Worst case is raw mode: the mode header plus 32 bits per word.
 	w.grow(bdModeBits + 32*len(blk.Words))
-	var words []WordEnc
+	// take returns a fully-overwritten result buffer of n entries, reusing
+	// the caller-provided capacity when it suffices.
+	take := func(n int) []WordEnc {
+		if cap(words) >= n {
+			return words[:n]
+		}
+		return make([]WordEnc, n)
+	}
+	words = words[:0]
 
 	allZero := true
 	for _, word := range blk.Words {
@@ -127,7 +156,7 @@ func (c *bdiCodec) Compress(dst int, blk *value.Block) *Encoded {
 		w.WriteBits(bdRaw, bdModeBits)
 	case allZero:
 		w.WriteBits(bdZero, bdModeBits)
-		words = make([]WordEnc, len(blk.Words))
+		words = take(len(blk.Words))
 		for i := range words {
 			words[i] = WordEnc{Kind: ExactWord, Bits: 0}
 		}
@@ -149,19 +178,19 @@ func (c *bdiCodec) Compress(dst int, blk *value.Block) *Encoded {
 			}
 			w.WriteBits(width.mode, bdModeBits)
 			w.WriteBits(base, 32)
-			for i, we := range ws {
+			for _, we := range ws {
 				delta := int64(int32(we.Decoded)) - int64(int32(base))
 				mask := uint32(1)<<width.bits - 1
 				w.WriteBits(uint32(delta)&mask, int(width.bits))
-				_ = i
 			}
-			words = ws
+			words = take(len(ws))
+			copy(words, ws)
 			encoded = true
 			break
 		}
 		if !encoded {
 			w.WriteBits(bdRaw, bdModeBits)
-			words = make([]WordEnc, len(blk.Words))
+			words = take(len(blk.Words))
 			for i, word := range blk.Words {
 				w.WriteBits(word, 32)
 				words[i] = WordEnc{Kind: RawWord, Bits: 32, Orig: word, Decoded: word}
@@ -181,7 +210,7 @@ func (c *bdiCodec) Compress(dst int, blk *value.Block) *Encoded {
 		}
 	}
 	c.stats.BitsOut += uint64(w.Len())
-	return &Encoded{
+	*enc = Encoded{
 		Scheme:       c.scheme,
 		NumWords:     len(blk.Words),
 		DType:        blk.DType,
@@ -190,6 +219,7 @@ func (c *bdiCodec) Compress(dst int, blk *value.Block) *Encoded {
 		Payload:      w.Bytes(),
 		Words:        words,
 	}
+	return enc
 }
 
 func (c *bdiCodec) Decompress(src int, enc *Encoded) (*value.Block, []Notification) {

@@ -1,17 +1,23 @@
 package compress
 
+import "encoding/binary"
+
 // bitWriter packs variable-width fields MSB-first into a byte slice; the
 // compression schemes use it to build the network representation (NR) of a
 // cache block so encode/decode round trips operate on real bitstreams, not
-// just size accounting.
+// just size accounting. Whole bytes flush into buf four at a time; up to
+// 31 trailing bits stage in the accumulator until later writes complete a
+// word (Bytes drains whatever is staged, padding the final partial byte).
+// internal/oracle keeps a bit-at-a-time reference formulation that
+// differential tests hold this layout to.
 type bitWriter struct {
 	buf  []byte
+	acc  uint64 // staged bits, MSB-aligned at bit nacc-1
+	nacc uint   // staged bit count, always < 32 between calls
 	nbit int
 }
 
 // WriteBits appends the low width bits of v, most significant first.
-// Bits are packed up to a byte at a time; the layout is identical to the
-// one-bit-per-iteration formulation.
 func (w *bitWriter) WriteBits(v uint32, width int) {
 	if width < 0 || width > 32 {
 		panic("compress: bit width out of range")
@@ -19,30 +25,42 @@ func (w *bitWriter) WriteBits(v uint32, width int) {
 	if width < 32 {
 		v &= 1<<uint(width) - 1
 	}
-	need := (w.nbit + width + 7) / 8
-	for len(w.buf) < need {
-		w.buf = append(w.buf, 0)
-	}
-	n := w.nbit
 	w.nbit += width
-	for width > 0 {
-		free := 8 - n%8 // unwritten bits remaining in the current byte
-		take := width
-		if take > free {
-			take = free
-		}
-		chunk := byte(v>>uint(width-take)) & (1<<uint(take) - 1)
-		w.buf[n/8] |= chunk << uint(free-take)
-		n += take
-		width -= take
+	// At most 31 staged bits plus 32 new ones: fits the accumulator.
+	w.acc = w.acc<<uint(width) | uint64(v)
+	w.nacc += uint(width)
+	if w.nacc >= 32 {
+		w.nacc -= 32
+		w.buf = binary.BigEndian.AppendUint32(w.buf, uint32(w.acc>>w.nacc))
 	}
 }
 
 // Len returns the number of bits written.
 func (w *bitWriter) Len() int { return w.nbit }
 
-// Bytes returns the packed buffer.
-func (w *bitWriter) Bytes() []byte { return w.buf }
+// Bytes returns the packed buffer, zero-padding the trailing partial
+// byte. The staged bytes are materialized in the buffer's spare capacity
+// without advancing the write position, so Bytes is safe to call
+// repeatedly (though writers normally finish before reading).
+func (w *bitWriter) Bytes() []byte {
+	b := w.buf
+	n := w.nacc
+	for n >= 8 {
+		n -= 8
+		b = append(b, byte(w.acc>>n))
+	}
+	if n > 0 {
+		b = append(b, byte(w.acc<<(8-n)))
+	}
+	return b
+}
+
+// Reset rewinds the writer for reuse, keeping the grown capacity.
+func (w *bitWriter) Reset() {
+	w.buf = w.buf[:0]
+	w.acc, w.nacc = 0, 0
+	w.nbit = 0
+}
 
 // grow pre-sizes the buffer for an expected number of additional bits so
 // encoders pay at most one allocation per block.
@@ -56,11 +74,17 @@ func (w *bitWriter) grow(bits int) {
 	w.buf = nb
 }
 
-// bitReader consumes fields written by bitWriter in order.
+// bitReader consumes fields written by bitWriter in order. Bytes refill
+// a 64-bit accumulator — four at a time while the buffer allows — whose
+// low nacc bits are the unconsumed lookahead (next*8 - nacc == pos bits
+// consumed, always).
 type bitReader struct {
 	buf  []byte
 	pos  int
 	fail bool
+	acc  uint64
+	nacc uint
+	next int // index of the next byte to stage into acc
 }
 
 func newBitReader(buf []byte) *bitReader { return &bitReader{buf: buf} }
@@ -77,19 +101,26 @@ func (r *bitReader) ReadBits(width int) uint32 {
 		r.fail = true
 		return 0
 	}
-	var v uint32
-	n := r.pos
 	r.pos += width
-	for width > 0 {
-		avail := 8 - n%8 // unread bits remaining in the current byte
-		take := width
-		if take > avail {
-			take = avail
+	// The bounds guard above proves enough bytes remain to cover width;
+	// nacc < width <= 32 on entry to the refill, so a 32-bit stage fits.
+	if r.nacc < uint(width) {
+		if len(r.buf)-r.next >= 4 {
+			r.acc = r.acc<<32 | uint64(binary.BigEndian.Uint32(r.buf[r.next:]))
+			r.next += 4
+			r.nacc += 32
+		} else {
+			for r.nacc < uint(width) {
+				r.acc = r.acc<<8 | uint64(r.buf[r.next])
+				r.next++
+				r.nacc += 8
+			}
 		}
-		chunk := (r.buf[n/8] >> uint(avail-take)) & (1<<uint(take) - 1)
-		v = v<<uint(take) | uint32(chunk)
-		n += take
-		width -= take
+	}
+	r.nacc -= uint(width)
+	v := uint32(r.acc >> r.nacc)
+	if width < 32 {
+		v &= 1<<uint(width) - 1
 	}
 	return v
 }

@@ -274,6 +274,8 @@ type Codec interface {
 // baseline is the no-compression codec.
 type baseline struct {
 	stats OpStats
+	// scratch backs CompressScratch (see ScratchEncoder).
+	scratch encodeScratch
 }
 
 // NewBaseline returns the pass-through codec used for the Baseline bars.
@@ -282,9 +284,25 @@ func NewBaseline() Codec { return &baseline{} }
 func (b *baseline) Scheme() Scheme { return Baseline }
 
 func (b *baseline) Compress(dst int, blk *value.Block) *Encoded {
-	w := &bitWriter{}
+	return b.compress(blk, &Encoded{}, &bitWriter{}, nil)
+}
+
+// CompressScratch implements ScratchEncoder: identical encoding into
+// codec-owned buffers valid until the next CompressScratch call.
+func (b *baseline) CompressScratch(dst int, blk *value.Block) *Encoded {
+	b.scratch.w.Reset()
+	enc := b.compress(blk, &b.scratch.enc, &b.scratch.w, b.scratch.words[:0])
+	b.scratch.words = enc.Words // keep the grown capacity for reuse
+	return enc
+}
+
+func (b *baseline) compress(blk *value.Block, enc *Encoded, w *bitWriter, words []WordEnc) *Encoded {
 	w.grow(32 * len(blk.Words))
-	words := make([]WordEnc, len(blk.Words))
+	if cap(words) >= len(blk.Words) {
+		words = words[:len(blk.Words)]
+	} else {
+		words = make([]WordEnc, len(blk.Words))
+	}
 	for i, word := range blk.Words {
 		w.WriteBits(word, 32)
 		words[i] = WordEnc{Kind: RawWord, Bits: 32, Orig: word, Decoded: word}
@@ -294,7 +312,7 @@ func (b *baseline) Compress(dst int, blk *value.Block) *Encoded {
 	b.stats.WordsRaw += uint64(len(blk.Words))
 	b.stats.BitsIn += uint64(32 * len(blk.Words))
 	b.stats.BitsOut += uint64(w.Len())
-	return &Encoded{
+	*enc = Encoded{
 		Scheme:       Baseline,
 		NumWords:     len(blk.Words),
 		DType:        blk.DType,
@@ -303,6 +321,7 @@ func (b *baseline) Compress(dst int, blk *value.Block) *Encoded {
 		Payload:      w.Bytes(),
 		Words:        words,
 	}
+	return enc
 }
 
 func (b *baseline) Decompress(src int, enc *Encoded) (*value.Block, []Notification) {
@@ -319,6 +338,33 @@ func (b *baseline) Decompress(src int, enc *Encoded) (*value.Block, []Notificati
 func (b *baseline) HandleNotification(Notification) []Notification { return nil }
 
 func (b *baseline) Stats() OpStats { return b.stats }
+
+// ScratchEncoder is implemented by codecs that can encode into
+// codec-owned reusable scratch, making the steady-state encode path
+// allocation-free. CompressScratch produces bit-identical results to
+// Compress, but the returned *Encoded — its Payload bitstream and Words
+// slice included — is owned by the codec and only valid until the next
+// CompressScratch call on the same codec.
+//
+// Use it where the encoding is consumed before the codec encodes again:
+// the serve shard worker (decode follows compress within one request on
+// the single-writer pool) and Fabric.Transfer. Callers that retain the
+// encoding — the cycle-accurate NI keeps it in flight across cycles —
+// must use Compress, which always returns freshly allocated state.
+type ScratchEncoder interface {
+	CompressScratch(dst int, blk *value.Block) *Encoded
+}
+
+// CompressTransient encodes through the codec's scratch path when it has
+// one and falls back to the allocating Compress otherwise. The returned
+// encoding obeys the ScratchEncoder ownership contract: consume it
+// before c encodes again.
+func CompressTransient(c Codec, dst int, blk *value.Block) *Encoded {
+	if se, ok := c.(ScratchEncoder); ok {
+		return se.CompressScratch(dst, blk)
+	}
+	return c.Compress(dst, blk)
+}
 
 // ThresholdAdjuster is implemented by codecs whose error threshold can be
 // changed at run time (§3.1: the threshold "can be dynamically adjusted

@@ -96,52 +96,90 @@ func indexBits(entries int) int {
 }
 
 // candidateTable is the decoder's bounded recurrent-pattern tracker: a
-// small LFU table counting raw word sightings.
+// small LFU table counting raw word sightings. The decoder consults it
+// for every raw word, so the lookup is tuned for that stream: pattern
+// and data type pack into one 64-bit key (a single compare per entry,
+// one cache stream), and the same pass that misses also finds the
+// coldest entry so a full-table replacement — the common case under a
+// transient pattern stream — needs no second sweep. A hash-map variant
+// measured slower: the stream is replacement-heavy, and per-sighting
+// hashing plus delete/insert churn cost more than the short scan.
 type candidateTable struct {
 	cap   int
-	pats  []value.Word
-	dts   []value.DataType
+	keys  []uint64 // pattern | dtype<<32
 	count []int
+	// victim caches the index of the first count-1 entry, or -1 when
+	// unknown. Counts never decrease, so once established it stays the
+	// first count-1 index until that entry itself is bumped or indices
+	// shift (drop/restore), letting back-to-back replacements — the
+	// common case under a transient stream — skip the min scan. The
+	// replacement choice is identical with or without the cache, so
+	// snapshot/restore (which resets it to unknown) cannot diverge.
+	victim int
+}
+
+func candKey(p value.Word, dt value.DataType) uint64 {
+	return uint64(p) | uint64(dt)<<32
 }
 
 func newCandidateTable(cap int) *candidateTable {
-	return &candidateTable{cap: cap}
+	return &candidateTable{cap: cap, victim: -1}
 }
 
-// bump records one sighting and returns the updated count.
+// pat and dtype unpack entry i (the snapshot codec keeps its wire format
+// in terms of the split fields).
+func (t *candidateTable) pat(i int) value.Word       { return value.Word(t.keys[i]) }
+func (t *candidateTable) dtype(i int) value.DataType { return value.DataType(t.keys[i] >> 32) }
+
+// bump records one sighting and returns the updated count. The key
+// search touches only the packed key slice — one load and compare per
+// entry — so tracked-pattern sightings never read the counts; the
+// victim scan runs only when a miss must replace in a full table.
 func (t *candidateTable) bump(p value.Word, dt value.DataType) int {
-	for i, q := range t.pats {
-		if q == p && t.dts[i] == dt {
+	k := candKey(p, dt)
+	for i, q := range t.keys {
+		if q == k {
 			t.count[i]++
+			if i == t.victim {
+				t.victim = -1 // no longer count 1
+			}
 			return t.count[i]
 		}
 	}
-	if len(t.pats) < t.cap {
-		t.pats = append(t.pats, p)
-		t.dts = append(t.dts, dt)
+	if len(t.keys) < t.cap {
+		t.keys = append(t.keys, k)
 		t.count = append(t.count, 1)
 		return 1
 	}
-	// Replace the coldest candidate.
-	victim := 0
-	for i := 1; i < len(t.count); i++ {
-		if t.count[i] < t.count[victim] {
-			victim = i
+	// Replace the coldest candidate: the first minimal-count index. When
+	// the minimum is 1 that is the first count-1 index, which the cache
+	// remembers; otherwise a full scan finds it, and the replaced slot —
+	// then the only count-1 entry — becomes the new cached victim.
+	v := t.victim
+	if v < 0 {
+		best := t.count[0]
+		v = 0
+		for i := 1; i < len(t.count); i++ {
+			if t.count[i] < best {
+				v, best = i, t.count[i]
+			}
 		}
+		t.victim = v
 	}
-	t.pats[victim], t.dts[victim], t.count[victim] = p, dt, 1
+	t.keys[v], t.count[v] = k, 1
 	return 1
 }
 
 // drop removes a candidate (after promotion).
 func (t *candidateTable) drop(p value.Word, dt value.DataType) {
-	for i, q := range t.pats {
-		if q == p && t.dts[i] == dt {
-			last := len(t.pats) - 1
-			t.pats[i], t.dts[i], t.count[i] = t.pats[last], t.dts[last], t.count[last]
-			t.pats = t.pats[:last]
-			t.dts = t.dts[:last]
+	k := candKey(p, dt)
+	for i, q := range t.keys {
+		if q == k {
+			last := len(t.keys) - 1
+			t.keys[i], t.count[i] = t.keys[last], t.count[last]
+			t.keys = t.keys[:last]
 			t.count = t.count[:last]
+			t.victim = -1 // indices shifted
 			return
 		}
 	}
@@ -210,6 +248,9 @@ type dictCodec struct {
 	// reclaims, aging epochs) and tags snapshots so replication can
 	// tell stale state from fresh (see DictSnapshotter).
 	gen uint64
+
+	// scratch backs CompressScratch (see ScratchEncoder).
+	scratch encodeScratch
 
 	stats          OpStats
 	decodeMismatch uint64
@@ -291,10 +332,26 @@ func (d *dictCodec) Scheme() Scheme { return d.scheme }
 // --- Encoder ---------------------------------------------------------------
 
 func (d *dictCodec) Compress(dst int, blk *value.Block) *Encoded {
-	w := &bitWriter{}
+	return d.compress(dst, blk, &Encoded{}, &bitWriter{}, nil)
+}
+
+// CompressScratch implements ScratchEncoder: identical encoding into
+// codec-owned buffers valid until the next CompressScratch call.
+func (d *dictCodec) CompressScratch(dst int, blk *value.Block) *Encoded {
+	d.scratch.w.Reset()
+	enc := d.compress(dst, blk, &d.scratch.enc, &d.scratch.w, d.scratch.words[:0])
+	d.scratch.words = enc.Words // keep the grown capacity for reuse
+	return enc
+}
+
+func (d *dictCodec) compress(dst int, blk *value.Block, enc *Encoded, w *bitWriter, words []WordEnc) *Encoded {
 	// Worst case every word goes raw: 1 flag bit + 32 data bits.
 	w.grow(33 * len(blk.Words))
-	words := make([]WordEnc, len(blk.Words))
+	if cap(words) >= len(blk.Words) {
+		words = words[:len(blk.Words)]
+	} else {
+		words = make([]WordEnc, len(blk.Words))
+	}
 	d.stats.BlocksIn++
 	d.stats.WordsIn += uint64(len(blk.Words))
 	d.stats.BitsIn += uint64(32 * len(blk.Words))
@@ -325,7 +382,7 @@ func (d *dictCodec) Compress(dst int, blk *value.Block) *Encoded {
 	}
 
 	d.stats.BitsOut += uint64(w.Len())
-	return &Encoded{
+	*enc = Encoded{
 		Scheme:       d.scheme,
 		NumWords:     len(blk.Words),
 		DType:        blk.DType,
@@ -334,6 +391,7 @@ func (d *dictCodec) Compress(dst int, blk *value.Block) *Encoded {
 		Payload:      w.Bytes(),
 		Words:        words,
 	}
+	return enc
 }
 
 type dictWordEnc struct {

@@ -101,7 +101,22 @@ type fpCodec struct {
 	stats  OpStats
 	// runScratch is reused across Compress calls for zero-run staging;
 	// entries are copied into the result before the next reuse.
-	runScratch []WordEnc
+	// runErrScratch holds the per-word relative error alongside it, so the
+	// budget check's RelError computation is not repeated for stats.
+	runScratch    []WordEnc
+	runErrScratch []float64
+	// scratch backs CompressScratch: the bit writer, the Words slice and
+	// the Encoded header are reused across calls (see ScratchEncoder).
+	scratch encodeScratch
+}
+
+// encodeScratch is the per-codec reusable encode state every scheme
+// threads through its scratch path. One codec is single-writer by the
+// Codec concurrency contract, so no locking is needed.
+type encodeScratch struct {
+	w     bitWriter
+	words []WordEnc
+	enc   Encoded
 }
 
 // NewFPComp returns the exact frequent-pattern codec.
@@ -178,11 +193,26 @@ func (c *fpCodec) wordMask(w value.Word, blk *value.Block) uint32 {
 }
 
 func (c *fpCodec) Compress(dst int, blk *value.Block) *Encoded {
-	w := &bitWriter{}
+	return c.compress(blk, &Encoded{}, &bitWriter{}, nil)
+}
+
+// CompressScratch implements ScratchEncoder: identical encoding, but the
+// bitstream, Words slice and Encoded header live in codec-owned scratch
+// valid until the next CompressScratch call.
+func (c *fpCodec) CompressScratch(dst int, blk *value.Block) *Encoded {
+	c.scratch.w.Reset()
+	enc := c.compress(blk, &c.scratch.enc, &c.scratch.w, c.scratch.words[:0])
+	c.scratch.words = enc.Words // keep the grown capacity for reuse
+	return enc
+}
+
+func (c *fpCodec) compress(blk *value.Block, enc *Encoded, w *bitWriter, words []WordEnc) *Encoded {
 	// Worst case every word goes raw (3-bit prefix + 32 bits); one exact
 	// allocation up front instead of append-driven growth.
 	w.grow((fpPrefixBits+32)*len(blk.Words) + fpZeroRunLenBits)
-	words := make([]WordEnc, 0, len(blk.Words))
+	if cap(words) < len(blk.Words) {
+		words = make([]WordEnc, 0, len(blk.Words))
+	}
 	c.stats.BlocksIn++
 	c.stats.WordsIn += uint64(len(blk.Words))
 	c.stats.BitsIn += uint64(32 * len(blk.Words))
@@ -196,13 +226,15 @@ func (c *fpCodec) Compress(dst int, blk *value.Block) *Encoded {
 
 		// Zero run: highest-priority row. A word joins the run when all its
 		// unmasked bits are zero and the error budget admits the rounding.
+		// The run loop reuses the mask already computed for the first word
+		// rather than recomputing it through the AVCL.
 		if word&^mask == 0 {
 			run := 0
 			runWords := c.runScratch[:0]
-			for i < len(blk.Words) && run < fpMaxZeroRun {
-				zw := blk.Words[i]
-				zm := c.wordMask(zw, blk)
-				ok, kind := c.zeroMatch(zw, zm, blk.DType)
+			runErrs := c.runErrScratch[:0]
+			zw, zm := word, mask
+			for {
+				ok, kind, relErr := c.zeroMatch(zw, zm, blk.DType)
 				if !ok {
 					break
 				}
@@ -210,46 +242,53 @@ func (c *fpCodec) Compress(dst int, blk *value.Block) *Encoded {
 					c.budget.Advance()
 				}
 				runWords = append(runWords, WordEnc{Kind: kind, Orig: zw, Decoded: 0})
+				runErrs = append(runErrs, relErr)
 				run++
 				i++
+				if run >= fpMaxZeroRun || i >= len(blk.Words) {
+					break
+				}
+				zw = blk.Words[i]
+				zm = c.wordMask(zw, blk)
 			}
 			if run > 0 {
-				w.WriteBits(fpZeroRun, fpPrefixBits)
-				w.WriteBits(uint32(run-1), fpZeroRunLenBits)
+				// Prefix and run length are adjacent fixed-width fields; one
+				// fused write emits both (fpZeroRun is the all-zero prefix).
+				w.WriteBits(fpZeroRun<<fpZeroRunLenBits|uint32(run-1), fpPrefixBits+fpZeroRunLenBits)
 				bitsPerWord := (fpPrefixBits + fpZeroRunLenBits + run - 1) / run
 				for j := range runWords {
 					runWords[j].Bits = bitsPerWord
-					c.recordWord(&runWords[j], blk.DType)
+					c.record(runWords[j].Kind, runErrs[j])
 				}
 				words = append(words, runWords...)
-				c.runScratch = runWords
+				c.runScratch, c.runErrScratch = runWords, runErrs
 				continue
 			}
-			c.runScratch = runWords
+			c.runScratch, c.runErrScratch = runWords, runErrs
 			// The structural zero match was refused by the error budget;
 			// fall through to the regular pattern rows.
 		}
 
-		enc := c.encodeWord(word, mask, blk.DType)
+		we := c.encodeWord(word, mask, blk.DType)
 		if c.budget != nil {
 			c.budget.Advance()
 		}
-		switch enc.Kind {
-		case RawWord:
+		if we.Kind == RawWord {
 			w.WriteBits(fpRaw, fpPrefixBits)
 			w.WriteBits(word, 32)
-		default:
-			p := fpPatternByPrefix(enc.prefix)
-			w.WriteBits(enc.prefix, fpPrefixBits)
-			w.WriteBits(enc.data, p.dataBits)
+		} else {
+			// Pattern rows carry at most 16 data bits, so prefix and data
+			// fuse into a single sub-32-bit write.
+			dataBits := we.Bits - fpPrefixBits
+			w.WriteBits(we.prefix<<uint(dataBits)|we.data, we.Bits)
 		}
-		c.recordWord(&enc.WordEnc, blk.DType)
-		words = append(words, enc.WordEnc)
+		c.record(we.Kind, we.relErr)
+		words = append(words, we.WordEnc)
 		i++
 	}
 
 	c.stats.BitsOut += uint64(w.Len())
-	return &Encoded{
+	*enc = Encoded{
 		Scheme:       c.scheme,
 		NumWords:     len(blk.Words),
 		DType:        blk.DType,
@@ -258,68 +297,101 @@ func (c *fpCodec) Compress(dst int, blk *value.Block) *Encoded {
 		Payload:      w.Bytes(),
 		Words:        words,
 	}
+	return enc
 }
 
 type fpWordEnc struct {
 	WordEnc
 	prefix uint32
 	data   uint32
+	// relErr is the relative error the budget check already computed for an
+	// approximate hit (0 for exact), recorded into stats without a second
+	// RelError evaluation.
+	relErr float64
 }
 
 // encodeWord matches one nonzero word against the pattern table in
 // priority order, with the online error check guarding approximate hits.
+// The rows are inlined here as straight bit arithmetic — the priority
+// order and the budget semantics are exactly those of the fpPatterns
+// table (the Decompress side and TestFPInlineRowsMatchTable keep the two
+// in lock step); the table's closure indirection was the dominant cost
+// in the per-word encode loop.
 func (c *fpCodec) encodeWord(word value.Word, mask uint32, dt value.DataType) fpWordEnc {
-	for _, p := range fpPatterns {
-		data, decoded, ok := fpMatch(p, word, mask)
-		if !ok {
-			continue
-		}
-		kind := ExactWord
-		if decoded != word {
-			// Approximate hit: the error control logic verifies the final
-			// deviation against the budget before committing (§3.2; the
-			// windowed budget is the §7 extension).
-			if c.budget == nil || !c.budget.Allow(value.RelError(word, decoded, dt)) {
-				continue
-			}
-			kind = ApproxWord
-		}
-		return fpWordEnc{
-			WordEnc: WordEnc{Kind: kind, Bits: fpPrefixBits + p.dataBits, Orig: word, Decoded: decoded},
-			prefix:  p.prefix,
-			data:    data,
-		}
+	if enc, ok := c.tryPattern(word, mask, dt, fpSE4, 4, word&0xF, signExtend(word&0xF, 4)); ok {
+		return enc
+	}
+	if enc, ok := c.tryPattern(word, mask, dt, fpSE8, 8, word&0xFF, signExtend(word&0xFF, 8)); ok {
+		return enc
+	}
+	if enc, ok := c.tryPattern(word, mask, dt, fpSE16, 16, word&0xFFFF, signExtend(word&0xFFFF, 16)); ok {
+		return enc
+	}
+	if enc, ok := c.tryPattern(word, mask, dt, fpHalfZero, 16, word>>16, (word>>16)<<16); ok {
+		return enc
+	}
+	d := (word >> 8 & 0xFF00) | (word & 0xFF)
+	if enc, ok := c.tryPattern(word, mask, dt, fpTwoHalfSE, 16, d, se8to16(d>>8)<<16|se8to16(d&0xFF)); ok {
+		return enc
 	}
 	return fpWordEnc{
 		WordEnc: WordEnc{Kind: RawWord, Bits: fpPrefixBits + 32, Orig: word, Decoded: word},
 	}
 }
 
-// zeroMatch decides whether a word may join a zero run: exact zeros
-// always may; structurally-zero approximations (all unmasked bits zero)
-// additionally need the error budget's consent.
-func (c *fpCodec) zeroMatch(w value.Word, mask uint32, dt value.DataType) (ok bool, kind WordKind) {
-	if w == 0 {
-		return true, ExactWord
+// tryPattern commits one pre-computed pattern row if its reconstruction
+// agrees with the word on every unmasked bit and — for approximate hits —
+// the error control logic admits the final deviation against the budget
+// (§3.2; the windowed budget is the §7 extension).
+func (c *fpCodec) tryPattern(word value.Word, mask uint32, dt value.DataType, prefix uint32, dataBits int, data uint32, decoded value.Word) (fpWordEnc, bool) {
+	if (word^decoded)&^mask != 0 {
+		return fpWordEnc{}, false
 	}
-	if w&^mask != 0 {
-		return false, RawWord
+	kind, relErr := ExactWord, 0.0
+	if decoded != word {
+		relErr = value.RelError(word, decoded, dt)
+		if c.budget == nil || !c.budget.Allow(relErr) {
+			return fpWordEnc{}, false
+		}
+		kind = ApproxWord
 	}
-	if c.budget == nil || !c.budget.Allow(value.RelError(w, 0, dt)) {
-		return false, RawWord
-	}
-	return true, ApproxWord
+	return fpWordEnc{
+		WordEnc: WordEnc{Kind: kind, Bits: fpPrefixBits + dataBits, Orig: word, Decoded: decoded},
+		prefix:  prefix,
+		data:    data,
+		relErr:  relErr,
+	}, true
 }
 
-func (c *fpCodec) recordWord(we *WordEnc, dt value.DataType) {
-	switch we.Kind {
+// zeroMatch decides whether a word may join a zero run: exact zeros
+// always may; structurally-zero approximations (all unmasked bits zero)
+// additionally need the error budget's consent. The relative error the
+// budget evaluated is returned so stats recording can reuse it.
+func (c *fpCodec) zeroMatch(w value.Word, mask uint32, dt value.DataType) (ok bool, kind WordKind, relErr float64) {
+	if w == 0 {
+		return true, ExactWord, 0
+	}
+	if w&^mask != 0 {
+		return false, RawWord, 0
+	}
+	relErr = value.RelError(w, 0, dt)
+	if c.budget == nil || !c.budget.Allow(relErr) {
+		return false, RawWord, 0
+	}
+	return true, ApproxWord, relErr
+}
+
+// record folds one encoded word into the op stats; relErr is the error
+// the budget check already computed (0 for exact and raw words).
+func (c *fpCodec) record(kind WordKind, relErr float64) {
+	switch kind {
 	case RawWord:
 		c.stats.WordsRaw++
 	case ExactWord:
 		c.stats.WordsExact++
 	case ApproxWord:
 		c.stats.WordsApprox++
-		c.stats.SumRelError += value.RelError(we.Orig, we.Decoded, dt)
+		c.stats.SumRelError += relErr
 	}
 }
 

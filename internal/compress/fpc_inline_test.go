@@ -1,0 +1,112 @@
+package compress
+
+import (
+	"testing"
+
+	"approxnoc/internal/value"
+)
+
+// encodeWord's pattern rows are inlined bit arithmetic for speed; the
+// fpPatterns table remains the specification (Decompress decodes through
+// it). This test locks the two in step: for a dense word/mask sample the
+// inline encoder must make exactly the decision the table-driven
+// reference makes, row priority and budget semantics included.
+
+// refEncodeWord is the table-driven formulation encodeWord replaced.
+func refEncodeWord(c *fpCodec, word value.Word, mask uint32, dt value.DataType) fpWordEnc {
+	for _, p := range fpPatterns {
+		data, decoded, ok := fpMatch(p, word, mask)
+		if !ok {
+			continue
+		}
+		kind, relErr := ExactWord, 0.0
+		if decoded != word {
+			relErr = value.RelError(word, decoded, dt)
+			if c.budget == nil || !c.budget.Allow(relErr) {
+				continue
+			}
+			kind = ApproxWord
+		}
+		return fpWordEnc{
+			WordEnc: WordEnc{Kind: kind, Bits: fpPrefixBits + p.dataBits, Orig: word, Decoded: decoded},
+			prefix:  p.prefix,
+			data:    data,
+			relErr:  relErr,
+		}
+	}
+	return fpWordEnc{WordEnc: WordEnc{Kind: RawWord, Bits: fpPrefixBits + 32, Orig: word, Decoded: word}}
+}
+
+func sampleWords() []value.Word {
+	words := []value.Word{
+		0, 1, 7, 8, 0xF, 0x10, 0x7F, 0x80, 0xFF, 0x100,
+		0x7FFF, 0x8000, 0xFFFF, 0x1_0000, 0x1234_0000, 0xFFFF_0000,
+		0x7F00_007F, 0x8080_8080, 0x1200_0034, 0xFFFF_FFFF,
+		0xFFFF_FFF8, 0xFFFF_FF80, 0xFFFF_8000, 0xDEAD_BEEF,
+	}
+	// A deterministic pseudorandom sweep on top of the edge cases.
+	x := uint32(0x9E3779B9)
+	for i := 0; i < 4096; i++ {
+		x ^= x << 13
+		x ^= x >> 17
+		x ^= x << 5
+		words = append(words, x)
+	}
+	return words
+}
+
+func TestFPInlineRowsMatchTable(t *testing.T) {
+	masks := []uint32{0, 0x3, 0xF, 0xFF, 0x1FF, 0xFFFF, 0x00FF_00FF, 0xFFFF_FFFF}
+	codecs := map[string]*fpCodec{
+		"fpcomp": {scheme: FPComp},
+	}
+	if c, err := NewFPVaxx(10); err == nil {
+		codecs["fpvaxx"] = c.(*fpCodec)
+	} else {
+		t.Fatal(err)
+	}
+	for name, c := range codecs {
+		// The reference and the inline encoder consult the same budget
+		// object; PerWord budgets are stateless per call, so back-to-back
+		// evaluation sees identical budget state.
+		for _, dt := range []value.DataType{value.Int32, value.Float32} {
+			for _, mask := range masks {
+				for _, w := range sampleWords() {
+					got := c.encodeWord(w, mask, dt)
+					want := refEncodeWord(c, w, mask, dt)
+					if got != want {
+						t.Fatalf("%s: encodeWord(%#x, mask %#x, %v) = %+v, table reference = %+v",
+							name, w, mask, dt, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestFPInlineRowWidths pins each inline row's transmitted field width
+// against the table row fpPatternByPrefix resolves, so a table edit that
+// changes a width cannot silently desynchronize the encoder.
+func TestFPInlineRowWidths(t *testing.T) {
+	c := &fpCodec{scheme: FPComp}
+	cases := []struct {
+		word   value.Word
+		prefix uint32
+	}{
+		{0x0000_0005, fpSE4},
+		{0x0000_0075, fpSE8},
+		{0x0000_4321, fpSE16},
+		{0x4321_0000, fpHalfZero},
+		{0x0012_0034, fpTwoHalfSE},
+	}
+	for _, tc := range cases {
+		enc := c.encodeWord(tc.word, 0, value.Int32)
+		if enc.prefix != tc.prefix {
+			t.Fatalf("encodeWord(%#x) chose prefix %03b, want %03b", tc.word, enc.prefix, tc.prefix)
+		}
+		p := fpPatternByPrefix(enc.prefix)
+		if enc.Bits != fpPrefixBits+p.dataBits {
+			t.Fatalf("prefix %03b: inline width %d bits, table says %d", enc.prefix, enc.Bits, fpPrefixBits+p.dataBits)
+		}
+	}
+}

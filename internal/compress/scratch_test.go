@@ -1,0 +1,224 @@
+package compress
+
+import (
+	"bytes"
+	"testing"
+
+	"approxnoc/internal/value"
+	"approxnoc/internal/workload"
+)
+
+// The scratch-path equivalence proof: every ScratchEncoder must produce
+// bit-identical encodings to its allocating Compress, including all
+// observable codec state (statistics, dictionary tables, budget
+// consumption). Two mirrored codec instances are driven with the same
+// block stream — one through Compress, one through CompressScratch — and
+// every encoding plus the terminal Stats must agree exactly. The scratch
+// result is snapshotted before the next call, per the ownership contract.
+
+// encSnapshot deep-copies the parts of an Encoded the scratch path reuses.
+type encSnapshot struct {
+	scheme       Scheme
+	numWords     int
+	dtype        value.DataType
+	approximable bool
+	bits         int
+	payload      []byte
+	words        []WordEnc
+}
+
+func snapshotEnc(e *Encoded) encSnapshot {
+	return encSnapshot{
+		scheme:       e.Scheme,
+		numWords:     e.NumWords,
+		dtype:        e.DType,
+		approximable: e.Approximable,
+		bits:         e.Bits,
+		payload:      append([]byte(nil), e.Payload...),
+		words:        append([]WordEnc(nil), e.Words...),
+	}
+}
+
+func encsEqual(a, b encSnapshot) bool {
+	if a.scheme != b.scheme || a.numWords != b.numWords || a.dtype != b.dtype ||
+		a.approximable != b.approximable || a.bits != b.bits {
+		return false
+	}
+	if !bytes.Equal(a.payload, b.payload) {
+		return false
+	}
+	if len(a.words) != len(b.words) {
+		return false
+	}
+	for i := range a.words {
+		if a.words[i] != b.words[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func scratchBlocks(t testing.TB, n int) []*value.Block {
+	t.Helper()
+	m, err := workload.ByName("ssca2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := m.NewSource(11, 0.75)
+	blocks := make([]*value.Block, n)
+	for i := range blocks {
+		blocks[i] = src.NextBlock()
+	}
+	// Edge shapes the generator rarely produces.
+	if n >= 2 {
+		blocks[0] = value.NewBlock(0, value.Int32, true)
+		blocks[1] = value.NewBlock(value.WordsPerBlock, value.Int32, true)
+	}
+	return blocks
+}
+
+// scratchCodecs builds mirrored instances of every ScratchEncoder scheme.
+func scratchCodecs(t *testing.T) map[string][2]Codec {
+	t.Helper()
+	pair := func(mk func() (Codec, error)) [2]Codec {
+		a, err := mk()
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := mk()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return [2]Codec{a, b}
+	}
+	return map[string][2]Codec{
+		"baseline": pair(func() (Codec, error) { return NewBaseline(), nil }),
+		"fpcomp":   pair(func() (Codec, error) { return NewFPComp(), nil }),
+		"fpvaxx":   pair(func() (Codec, error) { return NewFPVaxx(10) }),
+		"fpvaxx-windowed": pair(func() (Codec, error) {
+			return NewFPVaxxWindowed(5, 16, 2.0)
+		}),
+		"bdcomp": pair(func() (Codec, error) { return NewBDComp(), nil }),
+		"bdvaxx": pair(func() (Codec, error) { return NewBDVaxx(10) }),
+		"adaptive-fpvaxx": pair(func() (Codec, error) {
+			inner, err := NewFPVaxx(10)
+			if err != nil {
+				return nil, err
+			}
+			return NewAdaptive(inner, AdaptiveConfig{WindowBlocks: 8, MinRatio: 1.05, ProbeEvery: 2})
+		}),
+	}
+}
+
+func TestScratchEquivalence(t *testing.T) {
+	blocks := scratchBlocks(t, 200)
+	for name, pair := range scratchCodecs(t) {
+		t.Run(name, func(t *testing.T) {
+			plain, scratch := pair[0], pair[1]
+			se, ok := scratch.(ScratchEncoder)
+			if !ok {
+				t.Fatalf("%s does not implement ScratchEncoder", name)
+			}
+			for i, blk := range blocks {
+				want := snapshotEnc(plain.Compress(1, blk))
+				got := snapshotEnc(se.CompressScratch(1, blk))
+				if !encsEqual(want, got) {
+					t.Fatalf("block %d: scratch encoding diverged\nCompress: %+v\nScratch:  %+v", i, want, got)
+				}
+			}
+			if plain.Stats() != scratch.Stats() {
+				t.Fatalf("stats diverged:\nCompress: %+v\nScratch:  %+v", plain.Stats(), scratch.Stats())
+			}
+		})
+	}
+}
+
+// TestScratchEquivalenceDict mirrors two dictionary fabrics through the
+// full compress/decompress/notification cycle — the dict encoder PMT
+// state evolves with traffic, so the proof must hold while the tables
+// churn, not just on a cold codec.
+func TestScratchEquivalenceDict(t *testing.T) {
+	for _, scheme := range []Scheme{DIComp, DIVaxx} {
+		t.Run(scheme.String(), func(t *testing.T) {
+			const nodes = 4
+			factory, err := FactoryFor(scheme, nodes, 10)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fPlain := NewFabric(nodes, factory)
+			fScratch := NewFabric(nodes, factory)
+			blocks := scratchBlocks(t, 400)
+			for i, blk := range blocks {
+				src, dst := i%nodes, (i+1+i/7)%nodes
+				if src == dst {
+					dst = (dst + 1) % nodes
+				}
+				want := snapshotEnc(fPlain.Codec(src).Compress(dst, blk))
+				se := fScratch.Codec(src).(ScratchEncoder)
+				got := snapshotEnc(se.CompressScratch(dst, blk))
+				if !encsEqual(want, got) {
+					t.Fatalf("block %d (%d->%d): dict scratch encoding diverged", i, src, dst)
+				}
+				// Advance both decoder sides identically so the PMTs churn.
+				outP, nP := fPlain.Codec(dst).Decompress(src, fakeEnc(want))
+				outS, nS := fScratch.Codec(dst).Decompress(src, fakeEnc(got))
+				fPlain.Deliver(nP)
+				fScratch.Deliver(nS)
+				if len(outP.Words) != len(outS.Words) {
+					t.Fatalf("block %d: decode lengths diverged", i)
+				}
+				for j := range outP.Words {
+					if outP.Words[j] != outS.Words[j] {
+						t.Fatalf("block %d word %d: decode diverged %#x vs %#x", i, j, outP.Words[j], outS.Words[j])
+					}
+				}
+			}
+			if fPlain.Stats() != fScratch.Stats() {
+				t.Fatalf("fabric stats diverged:\n%+v\n%+v", fPlain.Stats(), fScratch.Stats())
+			}
+		})
+	}
+}
+
+// fakeEnc rebuilds an Encoded from a snapshot for the decode side.
+func fakeEnc(s encSnapshot) *Encoded {
+	return &Encoded{
+		Scheme: s.scheme, NumWords: s.numWords, DType: s.dtype,
+		Approximable: s.approximable, Bits: s.bits, Payload: s.payload, Words: s.words,
+	}
+}
+
+// TestCompressTransientFallback pins the helper's dispatch: scratch-aware
+// codecs go through CompressScratch, others through Compress.
+func TestCompressTransientFallback(t *testing.T) {
+	blk := scratchBlocks(t, 1)[0]
+	c := NewFPComp()
+	enc1 := CompressTransient(c, 1, blk)
+	enc2 := CompressTransient(c, 1, blk)
+	if enc1 != enc2 {
+		t.Fatalf("scratch-capable codec should return its reused scratch header")
+	}
+	// A codec without the scratch path must keep allocating fresh results.
+	nc := nonScratchCodec{inner: NewFPComp()}
+	enc3 := CompressTransient(nc, 1, blk)
+	enc4 := CompressTransient(nc, 1, blk)
+	if enc3 == enc4 {
+		t.Fatalf("fallback path must allocate fresh encodings")
+	}
+}
+
+// nonScratchCodec hides the embedded codec's CompressScratch method by
+// not forwarding it: interface assertion on the wrapper fails.
+type nonScratchCodec struct{ inner Codec }
+
+func (n nonScratchCodec) Scheme() Scheme { return n.inner.Scheme() }
+func (n nonScratchCodec) Compress(dst int, blk *value.Block) *Encoded {
+	return n.inner.Compress(dst, blk)
+}
+func (n nonScratchCodec) Decompress(src int, enc *Encoded) (*value.Block, []Notification) {
+	return n.inner.Decompress(src, enc)
+}
+func (n nonScratchCodec) HandleNotification(m Notification) []Notification {
+	return n.inner.HandleNotification(m)
+}
+func (n nonScratchCodec) Stats() OpStats { return n.inner.Stats() }

@@ -256,11 +256,11 @@ func (d *dictCodec) Marshal() ([]byte, error) {
 		w.b = append(w.b, packed...)
 	}
 
-	// Candidate tracker.
-	w.u32(uint32(len(d.cands.pats)))
-	for i := range d.cands.pats {
-		w.u32(d.cands.pats[i])
-		w.u8(uint8(d.cands.dts[i]))
+	// Candidate tracker (wire format keeps the split pattern/dtype fields).
+	w.u32(uint32(len(d.cands.keys)))
+	for i := range d.cands.keys {
+		w.u32(d.cands.pat(i))
+		w.u8(uint8(d.cands.dtype(i)))
 		w.u64(uint64(d.cands.count[i]))
 	}
 
@@ -699,9 +699,12 @@ func (d *dictCodec) Unmarshal(data []byte) error {
 	d.encDest = st.encDest
 	d.dec = st.dec
 	d.idle = st.idle
-	d.cands.pats = st.candPats
-	d.cands.dts = st.candDts
+	d.cands.keys = d.cands.keys[:0]
+	for i := range st.candPats {
+		d.cands.keys = append(d.cands.keys, candKey(st.candPats[i], st.candDts[i]))
+	}
 	d.cands.count = st.candCount
+	d.cands.victim = -1 // cache is derived state; recomputed on demand
 	d.pending = st.pending
 	d.stats = st.stats
 	d.decodeMismatch = st.decodeMismatch

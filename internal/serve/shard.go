@@ -72,7 +72,10 @@ func (p *pool) transfer(req Request, want int) Result {
 		}
 		p.threshold[req.Src] = want
 	}
-	enc := p.fabric.Codec(req.Src).Compress(req.Dst, req.Block)
+	// The encoding is consumed right here (decode + accounting) before the
+	// source codec can encode again, so the zero-alloc scratch path is
+	// safe under the pool's single-writer ownership.
+	enc := compress.CompressTransient(p.fabric.Codec(req.Src), req.Dst, req.Block)
 	out, notifs := p.fabric.Codec(req.Dst).Decompress(req.Src, enc)
 	p.fabric.Deliver(notifs)
 	return Result{

@@ -1,0 +1,229 @@
+package tcam
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// The fast engines (bit-sliced TCAM planes, CAM hash index) are proven
+// behaviorally identical to the retained naive sweeps by running two
+// mirrored instances through one operation stream: every mutation is
+// applied to both, every search goes through Search on one and
+// SearchNaive on the other, and after each step the observable state —
+// (idx, ok), Stats, per-slot freq/pattern/valid, Entries, and hi-bound
+// behavior — must agree exactly.
+
+// tcamStatesEqual compares every observable slot of two TCAMs.
+func tcamStatesEqual(t *testing.T, a, b *TCAM, op int) {
+	t.Helper()
+	if a.Stats() != b.Stats() {
+		t.Fatalf("op %d: stats diverged: fast %+v naive %+v", op, a.Stats(), b.Stats())
+	}
+	if a.Entries() != b.Entries() {
+		t.Fatalf("op %d: entry counts diverged: fast %d naive %d", op, a.Entries(), b.Entries())
+	}
+	for i := 0; i < a.Size(); i++ {
+		ea, fa, va := a.SlotState(i)
+		eb, fb, vb := b.SlotState(i)
+		if ea != eb || fa != fb || va != vb {
+			t.Fatalf("op %d: slot %d diverged: fast (%+v,%d,%v) naive (%+v,%d,%v)",
+				op, i, ea, fa, va, eb, fb, vb)
+		}
+	}
+}
+
+func camStatesEqual(t *testing.T, a, b *CAM, op int) {
+	t.Helper()
+	if a.Stats() != b.Stats() {
+		t.Fatalf("op %d: stats diverged: fast %+v naive %+v", op, a.Stats(), b.Stats())
+	}
+	if a.Entries() != b.Entries() {
+		t.Fatalf("op %d: entry counts diverged: fast %d naive %d", op, a.Entries(), b.Entries())
+	}
+	for i := 0; i < a.Size(); i++ {
+		pa, fa, va := a.SlotState(i)
+		pb, fb, vb := b.SlotState(i)
+		if pa != pb || fa != fb || va != vb {
+			t.Fatalf("op %d: slot %d diverged: fast (%#x,%d,%v) naive (%#x,%d,%v)",
+				op, i, pa, fa, va, pb, fb, vb)
+		}
+	}
+}
+
+// tcamMirrorRun drives one randomized op stream over mirrored TCAMs.
+func tcamMirrorRun(t *testing.T, seed int64, size, ops int) {
+	rng := rand.New(rand.NewSource(seed))
+	fast, naive := NewTCAM(size), NewTCAM(size)
+	masks := []uint32{0, 0xF, 0xFF, 0xFFFF, 0xFFFF0000, 0xFFFFFFFF, 0x0F0F0F0F, 0x80000001}
+	for op := 0; op < ops; op++ {
+		switch r := rng.Intn(12); {
+		case r < 4:
+			e := TEntry{Value: uint32(rng.Int63()), Mask: masks[rng.Intn(len(masks))]}
+			i1, ev1, had1 := fast.Insert(e)
+			i2, ev2, had2 := naive.Insert(e)
+			if i1 != i2 || ev1 != ev2 || had1 != had2 {
+				t.Fatalf("seed %d op %d: Insert diverged: (%d,%+v,%v) vs (%d,%+v,%v)",
+					seed, op, i1, ev1, had1, i2, ev2, had2)
+			}
+		case r < 5:
+			i := rng.Intn(size+4) - 2 // includes out-of-range no-ops
+			fast.InvalidateIndex(i)
+			naive.InvalidateIndex(i)
+		case r < 6:
+			i := rng.Intn(size+4) - 2
+			e := TEntry{Value: uint32(rng.Int63()), Mask: masks[rng.Intn(len(masks))]}
+			freq := uint64(rng.Intn(16))
+			valid := rng.Intn(3) > 0
+			fast.RestoreSlot(i, e, freq, valid)
+			naive.RestoreSlot(i, e, freq, valid)
+		default:
+			var key uint32
+			if rng.Intn(2) == 0 && naive.Entries() > 0 {
+				// Bias half the probes toward stored families so hits
+				// (and their freq bumps) are exercised, not just misses.
+				for {
+					if e, ok := naive.EntryAt(rng.Intn(size)); ok {
+						key = (e.Value &^ e.Mask) | (uint32(rng.Int63()) & e.Mask)
+						break
+					}
+				}
+			} else {
+				key = uint32(rng.Int63())
+			}
+			i1, ok1 := fast.Search(key)
+			i2, ok2 := naive.SearchNaive(key)
+			if i1 != i2 || ok1 != ok2 {
+				t.Fatalf("seed %d op %d: Search(%#x) = (%d,%v), SearchNaive = (%d,%v)",
+					seed, op, key, i1, ok1, i2, ok2)
+			}
+		}
+		tcamStatesEqual(t, fast, naive, op)
+	}
+}
+
+// TestTCAMEngineProperty runs the mirrored differential suite across 25
+// seeds and a size spread that covers partial groups (< 64), an exact
+// group boundary (64), and multi-group tables (100, 256).
+func TestTCAMEngineProperty(t *testing.T) {
+	sizes := []int{1, 7, 8, 63, 64, 100, 256}
+	for seed := int64(0); seed < 25; seed++ {
+		tcamMirrorRun(t, seed, sizes[int(seed)%len(sizes)], 3000)
+	}
+}
+
+// camMirrorRun drives one randomized op stream over mirrored CAMs.
+func camMirrorRun(t *testing.T, seed int64, size, ops int) {
+	rng := rand.New(rand.NewSource(seed))
+	fast, naive := NewCAM(size), NewCAM(size)
+	// A small pattern universe makes duplicate inserts and hit-heavy
+	// lookups common.
+	universe := 4 * size
+	for op := 0; op < ops; op++ {
+		switch r := rng.Intn(12); {
+		case r < 4:
+			p := uint32(rng.Intn(universe))
+			i1, ev1, had1 := fast.Insert(p)
+			i2, ev2, had2 := naive.Insert(p)
+			if i1 != i2 || ev1 != ev2 || had1 != had2 {
+				t.Fatalf("seed %d op %d: Insert diverged: (%d,%#x,%v) vs (%d,%#x,%v)",
+					seed, op, i1, ev1, had1, i2, ev2, had2)
+			}
+		case r < 5:
+			i := rng.Intn(size+4) - 2
+			fast.InvalidateIndex(i)
+			naive.InvalidateIndex(i)
+		case r < 6:
+			// RestoreSlot with patterns drawn from the same small universe:
+			// this is the path that can fabricate duplicate patterns, which
+			// the hash index must resolve to the lowest valid slot exactly
+			// like the linear sweep does.
+			i := rng.Intn(size+4) - 2
+			p := uint32(rng.Intn(universe))
+			freq := uint64(rng.Intn(16))
+			valid := rng.Intn(3) > 0
+			fast.RestoreSlot(i, p, freq, valid)
+			naive.RestoreSlot(i, p, freq, valid)
+		default:
+			p := uint32(rng.Intn(universe))
+			i1, ok1 := fast.Lookup(p)
+			i2, ok2 := naive.LookupNaive(p)
+			if i1 != i2 || ok1 != ok2 {
+				t.Fatalf("seed %d op %d: Lookup(%#x) = (%d,%v), LookupNaive = (%d,%v)",
+					seed, op, p, i1, ok1, i2, ok2)
+			}
+			// Peek must agree with the naive sweep's side-effect-free view.
+			j1, pok1 := fast.Peek(p)
+			if pok1 != ok1 || (ok1 && j1 != i1) {
+				t.Fatalf("seed %d op %d: Peek(%#x) = (%d,%v) disagrees with Lookup (%d,%v)",
+					seed, op, p, j1, pok1, i1, ok1)
+			}
+		}
+		camStatesEqual(t, fast, naive, op)
+	}
+}
+
+// TestCAMEngineProperty is the CAM half of the 25-seed differential suite.
+func TestCAMEngineProperty(t *testing.T) {
+	sizes := []int{1, 4, 8, 16, 32, 64, 100}
+	for seed := int64(0); seed < 25; seed++ {
+		camMirrorRun(t, seed, sizes[int(seed)%len(sizes)], 3000)
+	}
+}
+
+// TestEntriesLiveCount pins the incremental valid-entry counters against
+// a recount of the slot states across every mutation kind.
+func TestEntriesLiveCount(t *testing.T) {
+	recountTCAM := func(tc *TCAM) int {
+		n := 0
+		for i := 0; i < tc.Size(); i++ {
+			if _, _, ok := tc.SlotState(i); ok {
+				n++
+			}
+		}
+		return n
+	}
+	recountCAM := func(c *CAM) int {
+		n := 0
+		for i := 0; i < c.Size(); i++ {
+			if _, _, ok := c.SlotState(i); ok {
+				n++
+			}
+		}
+		return n
+	}
+
+	tc := NewTCAM(8)
+	c := NewCAM(8)
+	check := func(step string) {
+		t.Helper()
+		if got, want := tc.Entries(), recountTCAM(tc); got != want {
+			t.Fatalf("%s: TCAM.Entries() = %d, recount %d", step, got, want)
+		}
+		if got, want := c.Entries(), recountCAM(c); got != want {
+			t.Fatalf("%s: CAM.Entries() = %d, recount %d", step, got, want)
+		}
+	}
+	check("empty")
+	for i := 0; i < 10; i++ { // 10 > capacity: exercises evictions
+		tc.Insert(TEntry{Value: uint32(i) << 8, Mask: 0xFF})
+		c.Insert(uint32(i))
+		check("insert")
+	}
+	tc.Insert(TEntry{Value: 2 << 8, Mask: 0xFF}) // duplicate refresh
+	c.Insert(7)                                  // duplicate refresh
+	check("dup-insert")
+	for _, i := range []int{3, 3, 0, 7, -1, 99} { // double + out-of-range
+		tc.InvalidateIndex(i)
+		c.InvalidateIndex(i)
+		check("invalidate")
+	}
+	tc.RestoreSlot(5, TEntry{Value: 42, Mask: 0}, 9, true)
+	c.RestoreSlot(5, 42, 9, true)
+	check("restore-valid")
+	tc.RestoreSlot(5, TEntry{}, 0, false)
+	c.RestoreSlot(5, 0, 0, false)
+	check("restore-invalid")
+	tc.RestoreSlot(5, TEntry{}, 0, false) // restore-invalid over invalid
+	c.RestoreSlot(5, 0, 0, false)
+	check("restore-invalid-again")
+}

@@ -1,0 +1,121 @@
+package tcam
+
+import (
+	"encoding/binary"
+	"testing"
+)
+
+// FuzzTCAMEngine differential-fuzzes the bit-sliced fast path against
+// the retained naive sweep: the input bytes drive one operation stream
+// over mirrored TCAM+CAM pairs, and every search result and every piece
+// of observable state must stay identical. This is the fuzz half of the
+// engine-equivalence proof; TestTCAMEngineProperty is the seeded half.
+func FuzzTCAMEngine(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0x00, 0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07})
+	// Insert a wide family, probe it, invalidate the top, probe again.
+	f.Add([]byte{
+		0x10, 0xAA, 0xBB, 0x00, 0xFF, 0xFF,
+		0x40, 0xAA, 0xBB, 0x12, 0x34,
+		0x20, 0x00,
+		0x40, 0xAA, 0xBB, 0x12, 0x34,
+	})
+	// Restore traffic, including duplicate CAM patterns.
+	f.Add([]byte{
+		0x30, 0x05, 0x11, 0x22, 0x33, 0x44, 0x07,
+		0x30, 0x02, 0x11, 0x22, 0x33, 0x44, 0x07,
+		0x40, 0x11, 0x22, 0x33, 0x44,
+		0x20, 0x02,
+		0x40, 0x11, 0x22, 0x33, 0x44,
+	})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const size = 70 // a full 64-entry group plus a partial one
+		tFast, tNaive := NewTCAM(size), NewTCAM(size)
+		cFast, cNaive := NewCAM(size), NewCAM(size)
+		// Masks that exercise full-care, full-don't-care, and mixed digits.
+		masks := []uint32{0, 0xF, 0xFF, 0xFFFF, 0xFFFF0000, 0xFFFFFFFF, 0x0F0F0F0F, 0xF000000F}
+
+		u32 := func(pos int) uint32 {
+			var b [4]byte
+			for i := 0; i < 4 && pos+i < len(data); i++ {
+				b[i] = data[pos+i]
+			}
+			return binary.LittleEndian.Uint32(b[:])
+		}
+
+		for pos := 0; pos < len(data); {
+			op := data[pos]
+			pos++
+			switch op >> 4 {
+			case 1: // insert
+				e := TEntry{Value: u32(pos), Mask: masks[int(op)&0x7]}
+				pos += 4
+				i1, ev1, h1 := tFast.Insert(e)
+				i2, ev2, h2 := tNaive.Insert(e)
+				if i1 != i2 || ev1 != ev2 || h1 != h2 {
+					t.Fatalf("TCAM Insert diverged: (%d,%+v,%v) vs (%d,%+v,%v)", i1, ev1, h1, i2, ev2, h2)
+				}
+				j1, cev1, ch1 := cFast.Insert(e.Value)
+				j2, cev2, ch2 := cNaive.Insert(e.Value)
+				if j1 != j2 || cev1 != cev2 || ch1 != ch2 {
+					t.Fatalf("CAM Insert diverged: (%d,%#x,%v) vs (%d,%#x,%v)", j1, cev1, ch1, j2, cev2, ch2)
+				}
+			case 2: // invalidate (out-of-range included)
+				i := int(u32(pos)%(size+8)) - 4
+				pos++
+				tFast.InvalidateIndex(i)
+				tNaive.InvalidateIndex(i)
+				cFast.InvalidateIndex(i)
+				cNaive.InvalidateIndex(i)
+			case 3: // restore
+				i := int(u32(pos)%(size+8)) - 4
+				pos++
+				v := u32(pos)
+				pos += 4
+				freq := uint64(op & 0x3)
+				valid := op&0x4 != 0
+				e := TEntry{Value: v, Mask: masks[int(op)&0x7]}
+				tFast.RestoreSlot(i, e, freq, valid)
+				tNaive.RestoreSlot(i, e, freq, valid)
+				cFast.RestoreSlot(i, v, freq, valid)
+				cNaive.RestoreSlot(i, v, freq, valid)
+			default: // search/lookup
+				key := u32(pos)
+				pos += 4
+				i1, ok1 := tFast.Search(key)
+				i2, ok2 := tNaive.SearchNaive(key)
+				if i1 != i2 || ok1 != ok2 {
+					t.Fatalf("Search(%#x) = (%d,%v), SearchNaive = (%d,%v)", key, i1, ok1, i2, ok2)
+				}
+				j1, cok1 := cFast.Lookup(key)
+				j2, cok2 := cNaive.LookupNaive(key)
+				if j1 != j2 || cok1 != cok2 {
+					t.Fatalf("Lookup(%#x) = (%d,%v), LookupNaive = (%d,%v)", key, j1, cok1, j2, cok2)
+				}
+			}
+		}
+
+		// Terminal state audit: stats, live counts, every slot.
+		if tFast.Stats() != tNaive.Stats() || cFast.Stats() != cNaive.Stats() {
+			t.Fatalf("stats diverged: tcam %+v/%+v cam %+v/%+v",
+				tFast.Stats(), tNaive.Stats(), cFast.Stats(), cNaive.Stats())
+		}
+		if tFast.Entries() != tNaive.Entries() || cFast.Entries() != cNaive.Entries() {
+			t.Fatalf("entry counts diverged: tcam %d/%d cam %d/%d",
+				tFast.Entries(), tNaive.Entries(), cFast.Entries(), cNaive.Entries())
+		}
+		for i := 0; i < size; i++ {
+			e1, f1, v1 := tFast.SlotState(i)
+			e2, f2, v2 := tNaive.SlotState(i)
+			if e1 != e2 || f1 != f2 || v1 != v2 {
+				t.Fatalf("TCAM slot %d diverged: (%+v,%d,%v) vs (%+v,%d,%v)", i, e1, f1, v1, e2, f2, v2)
+			}
+			p1, g1, w1 := cFast.SlotState(i)
+			p2, g2, w2 := cNaive.SlotState(i)
+			if p1 != p2 || g1 != g2 || w1 != w2 {
+				t.Fatalf("CAM slot %d diverged: (%#x,%d,%v) vs (%#x,%d,%v)", i, p1, g1, w1, p2, g2, w2)
+			}
+		}
+	})
+}

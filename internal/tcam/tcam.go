@@ -8,7 +8,18 @@
 // The models are behavioural, not electrical: they reproduce single-cycle
 // parallel search semantics, entry replacement, and per-operation event
 // counts that the power model converts to energy.
+//
+// Internally the software model exploits the same bit-parallelism the
+// hardware match lines do (§4.2.1, Fig. 8): the TCAM keeps bit-sliced
+// mismatch planes over 64-entry groups and evaluates a search as a fold
+// of plane words followed by a priority encode (bits.TrailingZeros64),
+// and the CAM keeps a hash index for O(1) exact lookups. Both fast paths
+// are behaviourally identical to the naive sweeps, which remain available
+// as SearchNaive/LookupNaive and serve as the differential-test oracles
+// (see DESIGN.md §14).
 package tcam
+
+import "math/bits"
 
 // Stats counts the operations a CAM/TCAM performed, for the energy model.
 type Stats struct {
@@ -25,8 +36,15 @@ type CAM struct {
 	valid   []bool
 	pattern []uint32
 	freq    []uint64
-	hi      int // one past the highest valid index; scans stop here
-	stats   Stats
+	// index is the shadow hash index: pattern -> lowest valid slot
+	// holding it. Normal operation keeps patterns unique among valid
+	// entries (Insert refreshes duplicates in place), but RestoreSlot can
+	// write arbitrary snapshots, so the maintenance helpers preserve the
+	// lowest-index invariant even under duplicates.
+	index map[uint32]int
+	count int // live valid entries, maintained incrementally
+	hi    int // one past the highest valid index; scans stop here
+	stats Stats
 }
 
 // NewCAM returns a CAM with capacity size.
@@ -39,6 +57,7 @@ func NewCAM(size int) *CAM {
 		valid:   make([]bool, size),
 		pattern: make([]uint32, size),
 		freq:    make([]uint64, size),
+		index:   make(map[uint32]int, size),
 	}
 }
 
@@ -46,6 +65,31 @@ func NewCAM(size int) *CAM {
 func (c *CAM) refreshHi() {
 	for c.hi > 0 && !c.valid[c.hi-1] {
 		c.hi--
+	}
+}
+
+// indexAdd records slot i as holding pattern, keeping the lowest-index
+// mapping when another valid slot already holds the same pattern.
+func (c *CAM) indexAdd(pattern uint32, i int) {
+	if j, ok := c.index[pattern]; !ok || i < j {
+		c.index[pattern] = i
+	}
+}
+
+// indexRemove drops slot i's claim on pattern. If i was the indexed slot
+// a linear rescan re-establishes the lowest remaining valid holder — the
+// duplicate case only arises through RestoreSlot, and invalidations are
+// off the search hot path.
+func (c *CAM) indexRemove(pattern uint32, i int) {
+	if j, ok := c.index[pattern]; !ok || j != i {
+		return
+	}
+	delete(c.index, pattern)
+	for k := 0; k < c.hi; k++ {
+		if k != i && c.valid[k] && c.pattern[k] == pattern {
+			c.index[pattern] = k
+			return
+		}
 	}
 }
 
@@ -58,10 +102,23 @@ func (c *CAM) Stats() Stats { return c.stats }
 // Lookup searches every entry in parallel for pattern and returns the
 // matching index. A hit bumps the entry's frequency counter.
 //
-// The scan stops at the highest valid index: entries beyond it cannot
-// match, so the result and the Stats counters — the hardware performs the
-// parallel compare regardless of occupancy — are unchanged.
+// The software fast path answers from the hash index in O(1); the result
+// and the Stats counters — the hardware performs the parallel compare
+// regardless of occupancy — are identical to LookupNaive.
 func (c *CAM) Lookup(pattern uint32) (idx int, ok bool) {
+	c.stats.Searches++
+	if i, ok := c.index[pattern]; ok {
+		c.freq[i]++
+		c.stats.Hits++
+		return i, true
+	}
+	return 0, false
+}
+
+// LookupNaive is the reference linear sweep with Lookup's exact side
+// effects (stats and frequency). It is retained as the differential-test
+// oracle for the indexed fast path and as the bench comparator.
+func (c *CAM) LookupNaive(pattern uint32) (idx int, ok bool) {
 	c.stats.Searches++
 	for i := 0; i < c.hi; i++ {
 		if c.valid[i] && c.pattern[i] == pattern {
@@ -75,10 +132,8 @@ func (c *CAM) Lookup(pattern uint32) (idx int, ok bool) {
 
 // Peek is Lookup without touching frequency or stats — for assertions.
 func (c *CAM) Peek(pattern uint32) (idx int, ok bool) {
-	for i := 0; i < c.hi; i++ {
-		if c.valid[i] && c.pattern[i] == pattern {
-			return i, true
-		}
+	if i, ok := c.index[pattern]; ok {
+		return i, true
 	}
 	return 0, false
 }
@@ -100,10 +155,14 @@ func (c *CAM) Insert(pattern uint32) (idx int, evicted uint32, hadEviction bool)
 	slot := c.victim()
 	if c.valid[slot] {
 		evicted, hadEviction = c.pattern[slot], true
+		c.indexRemove(evicted, slot)
+	} else {
+		c.count++
 	}
 	c.valid[slot] = true
 	c.pattern[slot] = pattern
 	c.freq[slot] = 1
+	c.indexAdd(pattern, slot)
 	if slot >= c.hi {
 		c.hi = slot + 1
 	}
@@ -127,6 +186,10 @@ func (c *CAM) victim() int {
 // InvalidateIndex clears one entry.
 func (c *CAM) InvalidateIndex(i int) {
 	if i >= 0 && i < c.size {
+		if c.valid[i] {
+			c.indexRemove(c.pattern[i], i)
+			c.count--
+		}
 		c.valid[i] = false
 		c.freq[i] = 0
 		c.refreshHi()
@@ -141,16 +204,10 @@ func (c *CAM) PatternAt(i int) (uint32, bool) {
 	return c.pattern[i], true
 }
 
-// Entries returns the number of valid entries.
-func (c *CAM) Entries() int {
-	n := 0
-	for _, v := range c.valid {
-		if v {
-			n++
-		}
-	}
-	return n
-}
+// Entries returns the number of valid entries. The count is maintained
+// incrementally by Insert/InvalidateIndex/RestoreSlot, so metrics and GC
+// sweeps pay O(1) instead of rescanning the valid bits.
+func (c *CAM) Entries() int { return c.count }
 
 // Freq returns the frequency counter of entry i (0 when invalid).
 func (c *CAM) Freq(i int) uint64 {
@@ -175,9 +232,15 @@ func (c *CAM) RestoreSlot(i int, pattern uint32, freq uint64, valid bool) {
 	if i < 0 || i >= c.size {
 		return
 	}
+	if c.valid[i] {
+		c.indexRemove(c.pattern[i], i)
+		c.count--
+	}
 	c.valid[i] = valid
 	if valid {
 		c.pattern[i], c.freq[i] = pattern, freq
+		c.indexAdd(pattern, i)
+		c.count++
 		if i >= c.hi {
 			c.hi = i + 1
 		}
@@ -204,6 +267,56 @@ func (e TEntry) Matches(key uint32) bool {
 	return (key^e.Value)&^e.Mask == 0
 }
 
+// Bit-sliced match planes. Entries are grouped 64 to a matchGroup; for
+// each of the eight 4-bit digits of a 32-bit key the group keeps sixteen
+// mismatch bitmaps, one per digit value: bit i of miss[p][v] is set when
+// entry i's care bits within digit p disagree with value v. A search ORs
+// one selected word per digit (folding four bit-planes at a time), clears
+// the misses from the valid mask, and priority-encodes the lowest
+// surviving match line with bits.TrailingZeros64 — the software analogue
+// of the hardware's single-cycle parallel match-line evaluation.
+const (
+	groupShift = 6
+	groupSize  = 1 << groupShift
+)
+
+type matchGroup struct {
+	valid uint64
+	miss  [8][16]uint64
+}
+
+// set installs (value, mask) at the group-local bit, rebuilding the
+// entry's column across every plane.
+func (g *matchGroup) set(bit uint, value, mask uint32) {
+	b := uint64(1) << bit
+	g.valid |= b
+	care := ^mask
+	for p := uint(0); p < 8; p++ {
+		vn := value >> (4 * p) & 0xF
+		cn := care >> (4 * p) & 0xF
+		row := &g.miss[p]
+		for v := uint32(0); v < 16; v++ {
+			if (v^vn)&cn != 0 {
+				row[v] |= b
+			} else {
+				row[v] &^= b
+			}
+		}
+	}
+}
+
+// clear removes the group-local bit from the valid mask and every plane.
+func (g *matchGroup) clear(bit uint) {
+	b := uint64(1) << bit
+	g.valid &^= b
+	for p := range g.miss {
+		row := &g.miss[p]
+		for v := range row {
+			row[v] &^= b
+		}
+	}
+}
+
 // TCAM is a ternary CAM with frequency-weighted replacement. Multiple
 // entries may match a key; search returns the first match in priority
 // (index) order, matching hardware priority encoders.
@@ -215,11 +328,15 @@ type TCAM struct {
 	// Precomputed match-line constants: an entry matches key iff
 	// key&nm[i] == vm[i], where nm = ^Mask (care bits) and
 	// vm = Value &^ Mask. Invalid slots hold the unsatisfiable pair
-	// (nm=0, vm=1) so Search needs no per-entry validity branch.
-	nm    []uint32
-	vm    []uint32
-	hi    int // one past the highest valid index; scans stop here
-	stats Stats
+	// (nm=0, vm=1) so SearchNaive needs no per-entry validity branch.
+	// These back the naive sweep retained as the fast engine's oracle.
+	nm []uint32
+	vm []uint32
+	// groups holds the bit-sliced mismatch planes the fast Search folds.
+	groups []matchGroup
+	count  int // live valid entries, maintained incrementally
+	hi     int // one past the highest valid index; scans stop here
+	stats  Stats
 }
 
 // NewTCAM returns a TCAM with capacity size.
@@ -228,12 +345,13 @@ func NewTCAM(size int) *TCAM {
 		panic("tcam: negative TCAM size")
 	}
 	t := &TCAM{
-		size:  size,
-		valid: make([]bool, size),
-		ent:   make([]TEntry, size),
-		freq:  make([]uint64, size),
-		nm:    make([]uint32, size),
-		vm:    make([]uint32, size),
+		size:   size,
+		valid:  make([]bool, size),
+		ent:    make([]TEntry, size),
+		freq:   make([]uint64, size),
+		nm:     make([]uint32, size),
+		vm:     make([]uint32, size),
+		groups: make([]matchGroup, (size+groupSize-1)/groupSize),
 	}
 	for i := range t.vm {
 		t.vm[i] = 1 // unsatisfiable with nm = 0
@@ -247,14 +365,75 @@ func (t *TCAM) Size() int { return t.size }
 // Stats returns the operation counters accumulated so far.
 func (t *TCAM) Stats() Stats { return t.stats }
 
+// setSlot installs entry e at slot i in both representations: the
+// match-line constants the naive oracle scans and the bit-sliced planes
+// the fast path folds.
+func (t *TCAM) setSlot(i int, e TEntry) {
+	t.ent[i] = e
+	t.nm[i] = ^e.Mask
+	t.vm[i] = e.Value &^ e.Mask
+	t.groups[i>>groupShift].set(uint(i&(groupSize-1)), e.Value, e.Mask)
+}
+
+// clearSlot resets slot i to the unsatisfiable state in both
+// representations.
+func (t *TCAM) clearSlot(i int) {
+	t.ent[i] = TEntry{}
+	t.nm[i], t.vm[i] = 0, 1 // unsatisfiable
+	t.groups[i>>groupShift].clear(uint(i & (groupSize - 1)))
+}
+
+// refreshHi lowers the scan bound after an invalidation at the top —
+// the shared form of the loop InvalidateIndex and RestoreSlot used to
+// carry separately, mirroring CAM.refreshHi.
+func (t *TCAM) refreshHi() {
+	for t.hi > 0 && !t.valid[t.hi-1] {
+		t.hi--
+	}
+}
+
 // Search compares key against every entry in parallel and returns the
 // lowest matching index. A hit bumps the entry's frequency counter.
 //
-// The software fast path uses the precomputed match-line constants and
-// stops at the highest valid index; both are pure scan eliminations, so
-// the result and the Stats counters — hardware compares every line each
-// search regardless — are identical to the naive sweep.
+// The software fast path folds the bit-sliced mismatch planes — eight
+// OR-selected words per 64-entry group — and priority-encodes the lowest
+// surviving match line. Group iteration stops at the highest valid index;
+// all of it is pure scan elimination, so the result and the Stats
+// counters — hardware compares every line each search regardless — are
+// identical to SearchNaive.
 func (t *TCAM) Search(key uint32) (idx int, ok bool) {
+	t.stats.Searches++
+	for gi := range t.groups {
+		if gi<<groupShift >= t.hi {
+			break
+		}
+		g := &t.groups[gi]
+		if g.valid == 0 {
+			continue
+		}
+		miss := g.miss[0][key&0xF] |
+			g.miss[1][key>>4&0xF] |
+			g.miss[2][key>>8&0xF] |
+			g.miss[3][key>>12&0xF] |
+			g.miss[4][key>>16&0xF] |
+			g.miss[5][key>>20&0xF] |
+			g.miss[6][key>>24&0xF] |
+			g.miss[7][key>>28&0xF]
+		if match := g.valid &^ miss; match != 0 {
+			i := gi<<groupShift + bits.TrailingZeros64(match)
+			t.freq[i]++
+			t.stats.Hits++
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+// SearchNaive is the reference linear sweep over the precomputed
+// match-line constants, with Search's exact side effects (stats and
+// frequency). It is retained as the differential-test oracle for the
+// bit-sliced fast path and as the bench comparator.
+func (t *TCAM) SearchNaive(key uint32) (idx int, ok bool) {
 	t.stats.Searches++
 	nm, vm := t.nm[:t.hi], t.vm[:t.hi]
 	for i := range nm {
@@ -301,12 +480,12 @@ func (t *TCAM) Insert(e TEntry) (idx int, evicted TEntry, hadEviction bool) {
 	}
 	if !found && t.valid[slot] {
 		evicted, hadEviction = t.ent[slot], true
+	} else {
+		t.count++
 	}
 	t.valid[slot] = true
-	t.ent[slot] = e
 	t.freq[slot] = 1
-	t.nm[slot] = ^e.Mask
-	t.vm[slot] = e.Value &^ e.Mask
+	t.setSlot(slot, e)
 	if slot >= t.hi {
 		t.hi = slot + 1
 	}
@@ -317,12 +496,13 @@ func (t *TCAM) Insert(e TEntry) (idx int, evicted TEntry, hadEviction bool) {
 // InvalidateIndex clears one entry.
 func (t *TCAM) InvalidateIndex(i int) {
 	if i >= 0 && i < t.size {
+		if t.valid[i] {
+			t.count--
+		}
 		t.valid[i] = false
 		t.freq[i] = 0
-		t.nm[i], t.vm[i] = 0, 1 // unsatisfiable
-		for t.hi > 0 && !t.valid[t.hi-1] {
-			t.hi--
-		}
+		t.clearSlot(i)
+		t.refreshHi()
 	}
 }
 
@@ -334,16 +514,10 @@ func (t *TCAM) EntryAt(i int) (TEntry, bool) {
 	return t.ent[i], true
 }
 
-// Entries returns the number of valid entries.
-func (t *TCAM) Entries() int {
-	n := 0
-	for _, v := range t.valid {
-		if v {
-			n++
-		}
-	}
-	return n
-}
+// Entries returns the number of valid entries. The count is maintained
+// incrementally by Insert/InvalidateIndex/RestoreSlot, so metrics and GC
+// sweeps pay O(1) instead of rescanning the valid bits.
+func (t *TCAM) Entries() int { return t.count }
 
 // Freq returns the frequency counter of entry i (0 when invalid).
 func (t *TCAM) Freq(i int) uint64 {
@@ -368,20 +542,22 @@ func (t *TCAM) RestoreSlot(i int, e TEntry, freq uint64, valid bool) {
 	if i < 0 || i >= t.size {
 		return
 	}
+	if t.valid[i] {
+		t.count--
+	}
 	t.valid[i] = valid
 	if valid {
-		t.ent[i], t.freq[i] = e, freq
-		t.nm[i], t.vm[i] = ^e.Mask, e.Value&^e.Mask
+		t.freq[i] = freq
+		t.setSlot(i, e)
+		t.count++
 		if i >= t.hi {
 			t.hi = i + 1
 		}
 		return
 	}
-	t.ent[i], t.freq[i] = TEntry{}, 0
-	t.nm[i], t.vm[i] = 0, 1 // unsatisfiable
-	for t.hi > 0 && !t.valid[t.hi-1] {
-		t.hi--
-	}
+	t.freq[i] = 0
+	t.clearSlot(i)
+	t.refreshHi()
 }
 
 // RestoreStats overwrites the operation counters — used when restoring

@@ -4,8 +4,9 @@
 #
 #   1. kernel microbenchmarks (internal/noc, internal/obs, the
 #      internal/serve gateway wire family, the internal/cluster
-#      scaling grid, and the internal/qos goodput-vs-quality grid) at
-#      the default 1s benchtime,
+#      scaling grid, the internal/qos goodput-vs-quality grid, the
+#      internal/tcam match-engine grid, and the internal/compress
+#      codec hot-path grid) at the default 1s benchtime,
 #      so ns/op and allocs/op are stable enough for the regression gate;
 #   2. the figure suite (root package) at FIG_BENCHTIME (default 1x) —
 #      these run whole experiments per iteration, so one iteration is
@@ -18,7 +19,7 @@
 set -eu
 cd "$(dirname "$0")/.."
 
-out=${1:-BENCH_9.json}
+out=${1:-BENCH_10.json}
 fig_benchtime=${FIG_BENCHTIME:-1x}
 kernel_benchtime=${KERNEL_BENCHTIME:-1s}
 tmp=$(mktemp)
@@ -26,7 +27,8 @@ trap 'rm -f "$tmp"' EXIT
 
 echo ">> kernel benchmarks (benchtime $kernel_benchtime)"
 go test -bench . -benchmem -benchtime "$kernel_benchtime" -run '^$' \
-    ./internal/noc ./internal/obs ./internal/serve ./internal/cluster ./internal/qos | tee -a "$tmp"
+    ./internal/noc ./internal/obs ./internal/serve ./internal/cluster ./internal/qos \
+    ./internal/tcam ./internal/compress | tee -a "$tmp"
 
 if [ "${SKIP_FIGURES:-0}" != "1" ]; then
     echo ">> figure suite (benchtime $fig_benchtime)"

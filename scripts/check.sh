@@ -68,6 +68,14 @@ go test -run 'TestStepZeroAllocs' ./internal/noc
 echo '>> alloc budget (serve wire path)'
 go test -run 'TestReadFrameSteadyStateAllocs|TestWireReplaySteadyStateAllocs' ./internal/serve
 
+# Codec encode alloc gates: the scratch encode path every fabric Transfer
+# and serve shard worker rides must stay zero-alloc per block in steady
+# state, and the AVCL per-word mask computation must never allocate (see
+# DESIGN.md §14). Uninstrumented for the same heap-accounting reason.
+echo '>> alloc budget (codec scratch encode)'
+go test -run 'TestScratchZeroAllocs|TestScratchZeroAllocsDict|TestFabricTransferSteadyAllocs' ./internal/compress
+go test -run 'TestAVCLZeroAllocs' ./internal/approx
+
 echo '>> coverage (per package)'
 coverprofile=${COVERPROFILE:-/tmp/approxnoc-cover.out}
 go test -short -coverprofile "$coverprofile" ./...

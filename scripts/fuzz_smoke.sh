@@ -22,6 +22,7 @@ run_target ./internal/compress FuzzDictRoundTrip
 run_target ./internal/compress FuzzBDIRoundTrip
 run_target ./internal/compress FuzzDictSnapshot
 run_target ./internal/approx FuzzVAXXErrorBound
+run_target ./internal/tcam FuzzTCAMEngine
 run_target ./internal/serve FuzzProtocolFrame
 
 echo 'fuzz-smoke: all targets clean'
